@@ -1,0 +1,178 @@
+(* dIPC command-line interface: poke at the simulated system without
+   writing code.
+
+     dune exec bin/dipc_cli.exe -- call --policy high --cross
+     dune exec bin/dipc_cli.exe -- ipc --primitive rpc
+     dune exec bin/dipc_cli.exe -- oltp --config dipc --threads 16
+     dune exec bin/dipc_cli.exe -- disasm --policy high
+*)
+
+module Costs = Dipc_sim.Costs
+module Stats = Dipc_sim.Stats
+module Types = Dipc_core.Types
+module Scenario = Dipc_core.Scenario
+module Proxy = Dipc_core.Proxy
+module Asm = Dipc_core.Asm
+module Isa = Dipc_hw.Isa
+module M = Dipc_workloads.Microbench
+module O = Dipc_workloads.Oltp
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let policy_conv =
+  let parse = function
+    | "low" -> Ok Types.props_low
+    | "high" -> Ok Types.props_high
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S (low|high)" s))
+  in
+  let print ppf p =
+    Fmt.string ppf (if p = Types.props_high then "high" else "low")
+  in
+  Arg.conv (parse, print)
+
+let policy =
+  Arg.(value & opt policy_conv Types.props_low & info [ "policy" ] ~doc:"low or high")
+
+let cross =
+  Arg.(value & flag & info [ "cross" ] ~doc:"cross-process call (dIPC +proc)")
+
+let tls_opt =
+  Arg.(value & flag & info [ "tls-opt" ] ~doc:"optimised TLS mode (Sec. 6.1.2)")
+
+(* --- call: measure one dIPC configuration --- *)
+
+let run_call policy cross tls_opt =
+  let s =
+    Scenario.make ~same_process:(not cross) ~tls_optimized:tls_opt
+      ~caller_props:policy ~callee_props:policy ()
+  in
+  let m = Scenario.measure s in
+  Printf.printf "dIPC %s call, %s policy%s:\n"
+    (if cross then "cross-process" else "same-process")
+    (if policy = Types.props_high then "High" else "Low")
+    (if tls_opt then ", optimised TLS" else "");
+  Printf.printf "  %.1f ns per call (%.0fx a function call; sd %.2f)\n"
+    m.Stats.s_mean
+    (m.Stats.s_mean /. Costs.function_call)
+    m.Stats.s_stddev
+
+let call_cmd =
+  Cmd.v
+    (Cmd.info "call" ~doc:"measure a warm dIPC call on the machine model")
+    Term.(const run_call $ policy $ cross $ tls_opt)
+
+(* --- ipc: measure a baseline primitive --- *)
+
+let primitive_conv =
+  let parse = function
+    | "sem" -> Ok M.Sem
+    | "pipe" -> Ok M.Pipe
+    | "l4" -> Ok M.L4
+    | "rpc" -> Ok M.Local_rpc
+    | "user-rpc" -> Ok M.User_rpc_prim
+    | s -> Error (`Msg (Printf.sprintf "unknown primitive %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (M.primitive_name p))
+
+let run_ipc primitive same_cpu bytes =
+  let r = M.run ~bytes ~same_cpu primitive in
+  Printf.printf "%s (%s), %d-byte argument:\n" (M.primitive_name primitive)
+    (if same_cpu then "=CPU" else "!=CPU")
+    bytes;
+  Printf.printf "  %.1f ns per synchronous round trip\n" r.M.mean_ns;
+  Array.iteri
+    (fun i bd ->
+      if Dipc_sim.Breakdown.total bd > 1. then
+        Fmt.pr "  CPU %d: %a@." (i + 1) Dipc_sim.Breakdown.pp bd)
+    r.M.per_cpu
+
+let ipc_cmd =
+  let primitive =
+    Arg.(
+      value
+      & opt primitive_conv M.Sem
+      & info [ "primitive" ] ~doc:"sem|pipe|l4|rpc|user-rpc")
+  in
+  let same_cpu =
+    Arg.(value & flag & info [ "same-cpu" ] ~doc:"pin both sides to one CPU")
+  in
+  let bytes = Arg.(value & opt int 1 & info [ "bytes" ] ~doc:"argument size") in
+  Cmd.v
+    (Cmd.info "ipc" ~doc:"measure a baseline IPC primitive on the kernel model")
+    Term.(const run_ipc $ primitive $ same_cpu $ bytes)
+
+(* --- oltp: one macro-benchmark cell --- *)
+
+let run_oltp config threads on_disk =
+  let config =
+    match config with
+    | "linux" -> O.Linux
+    | "dipc" -> O.Dipc
+    | "ideal" -> O.Ideal
+    | s -> failwith ("unknown config " ^ s)
+  in
+  let db_mode = if on_disk then O.On_disk else O.In_memory in
+  let r = O.run ~config ~db_mode ~threads () in
+  Printf.printf "%s, %d threads/component, %s DB:\n" (O.config_name config)
+    threads
+    (if on_disk then "on-disk" else "in-memory");
+  Printf.printf "  throughput %.0f ops/min, latency %.2f ms\n" r.O.r_throughput_opm
+    (r.O.r_latency_ns.Stats.s_mean /. 1e6);
+  Printf.printf "  user %.1f%%  kernel %.1f%%  idle %.1f%%\n"
+    (100. *. r.O.r_user_frac) (100. *. r.O.r_kernel_frac)
+    (100. *. r.O.r_idle_frac)
+
+let oltp_cmd =
+  let config =
+    Arg.(value & opt string "dipc" & info [ "config" ] ~doc:"linux|dipc|ideal")
+  in
+  let threads = Arg.(value & opt int 16 & info [ "threads" ] ~doc:"per component") in
+  let on_disk = Arg.(value & flag & info [ "on-disk" ] ~doc:"on-disk database") in
+  Cmd.v
+    (Cmd.info "oltp" ~doc:"run one cell of the Figure 8 macro-benchmark")
+    Term.(const run_oltp $ config $ threads $ on_disk)
+
+(* --- disasm: show the generated proxy for a configuration --- *)
+
+let run_disasm policy cross =
+  let mem = Dipc_hw.Memory.create () in
+  let cache = Proxy.cache_create () in
+  let config =
+    {
+      Proxy.sig_ = Types.signature ~args:2 ~rets:1 ();
+      eff = policy;
+      cross_process = cross;
+      tls_switch = cross;
+    }
+  in
+  let g =
+    Proxy.generate cache ~mem ~base:0x10000 ~target_addr:0xbeef00 ~target_tag:7
+      config
+  in
+  Printf.printf
+    "proxy for %s/%s (entry 0x%x, return path 0x%x, %d bytes):\n"
+    (if cross then "cross-process" else "same-process")
+    (if policy = Types.props_high then "High" else "Low")
+    g.Proxy.g_entry g.Proxy.g_ret g.Proxy.g_bytes;
+  let addr = ref 0x10000 in
+  while !addr < 0x10000 + g.Proxy.g_bytes do
+    (match Dipc_hw.Memory.fetch mem !addr with
+    | Some Isa.Nop -> () (* alignment padding *)
+    | Some i -> Fmt.pr "  %06x: %a@." !addr Isa.pp i
+    | None -> ());
+    addr := !addr + Isa.instr_bytes
+  done
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"print the generated proxy template")
+    Term.(const run_disasm $ policy $ cross)
+
+let () =
+  let info =
+    Cmd.info "dipc" ~version:"1.0.0"
+      ~doc:"direct inter-process communication on a simulated CODOMs machine"
+  in
+  exit (Cmd.eval (Cmd.group info [ call_cmd; ipc_cmd; oltp_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/apl_walkthrough.mli:

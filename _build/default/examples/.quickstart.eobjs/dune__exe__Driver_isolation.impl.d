@@ -1,0 +1,1 @@
+examples/driver_isolation.ml: Dipc_core Dipc_sim Dipc_workloads List Printf

@@ -1,0 +1,1 @@
+examples/dsl_quickstart.ml: Dipc_core Dipc_hw List Printf

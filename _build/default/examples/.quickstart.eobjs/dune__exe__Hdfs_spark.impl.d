@@ -1,0 +1,1 @@
+examples/hdfs_spark.ml: Dipc_core Dipc_hw List Printf

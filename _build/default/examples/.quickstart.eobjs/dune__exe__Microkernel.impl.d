@@ -1,0 +1,1 @@
+examples/microkernel.ml: Dipc_core Dipc_hw Dipc_workloads Printf

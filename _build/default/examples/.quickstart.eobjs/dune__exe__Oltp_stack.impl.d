@@ -1,0 +1,1 @@
+examples/oltp_stack.ml: Dipc_sim Dipc_workloads List Printf

@@ -1,0 +1,1 @@
+examples/plugin_sandbox.ml: Dipc_core Dipc_hw Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dipc_core Dipc_hw Printf

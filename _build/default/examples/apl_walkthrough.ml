@@ -1,0 +1,155 @@
+(* Figure 4 walkthrough: code-centric domain isolation on the raw CODOMs
+   machine, without any OS on top.
+
+     dune exec examples/apl_walkthrough.exe
+
+   Three domains, as in the paper's example:
+   - domain A owns pages with its code and data; its APL lets it *call*
+     into domain B's entry points;
+   - domain B can jump anywhere in C (read permission) and has, as every
+     domain does, implicit write access to itself;
+   - domain C is reachable from B only.
+
+   A can therefore invoke B's exported procedure; B internally uses C; but
+   A can neither touch C nor enter B anywhere except its aligned entry
+   point. *)
+
+module Machine = Dipc_hw.Machine
+module Memory = Dipc_hw.Memory
+module Page_table = Dipc_hw.Page_table
+module Apl = Dipc_hw.Apl
+module Perm = Dipc_hw.Perm
+module Isa = Dipc_hw.Isa
+module Fault = Dipc_hw.Fault
+module Capability = Dipc_hw.Capability
+
+let page = 0x1000
+
+let () =
+  let m = Machine.create () in
+  let apl = m.Machine.apl in
+  let tag_a = Apl.fresh_tag apl
+  and tag_b = Apl.fresh_tag apl
+  and tag_c = Apl.fresh_tag apl
+  and tag_s = Apl.fresh_tag apl in
+  Printf.printf "domains: A=tag%d B=tag%d C=tag%d (stack domain tag%d)\n" tag_a
+    tag_b tag_c tag_s;
+  let code_a = 0x100000
+  and code_b = 0x200000
+  and code_c = 0x300000
+  and stack = 0x400000 in
+  let pt = m.Machine.page_table in
+  Page_table.map pt ~addr:code_a ~count:1 ~tag:tag_a ~writable:false ~executable:true ();
+  Page_table.map pt ~addr:code_b ~count:1 ~tag:tag_b ~writable:false ~executable:true ();
+  Page_table.map pt ~addr:code_c ~count:1 ~tag:tag_c ~writable:false ~executable:true ();
+  Page_table.map pt ~addr:stack ~count:1 ~tag:tag_s ();
+
+  (* The APL configuration of Figure 4: A may call into B's entry points;
+     B may read (and so jump anywhere into) C; B also lets A's frames be
+     returned into (read back). *)
+  Apl.grant apl ~src:tag_a ~dst:tag_b Perm.Call;
+  Apl.grant apl ~src:tag_b ~dst:tag_c Perm.Read;
+  (* Return paths: grants are directional, so letting B and C return into
+     their callers' code does NOT let A enter them. *)
+  Apl.grant apl ~src:tag_b ~dst:tag_a Perm.Read;
+  Apl.grant apl ~src:tag_c ~dst:tag_b Perm.Read;
+  Apl.grant apl ~src:tag_c ~dst:tag_a Perm.Read;
+
+  (* C: a helper that doubles its argument. *)
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:code_c
+       [ Isa.Add (0, 0, 0); Isa.Ret ]);
+  (* B: an entry point (64-aligned page start) that calls C and adds 1. *)
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:code_b
+       [ Isa.Call code_c; Isa.Addi (0, 0, 1); Isa.Ret ]);
+
+  let run instrs =
+    ignore (Memory.place_code m.Machine.mem ~addr:code_a instrs);
+    let ctx = Machine.new_ctx m ~pc:code_a ~sp_value:(stack + page) in
+    (* The thread-private stack capability (what dIPC installs in c6). *)
+    ctx.Machine.cregs.(6) <-
+      Some
+        {
+          Capability.base = stack;
+          length = page;
+          perm = Perm.Write;
+          scope = Capability.Asynchronous { owner_tag = tag_s; counter = 0; value = 0 };
+        };
+    match Machine.run m ctx with
+    | () -> Ok ctx.Machine.regs.(0)
+    | exception Fault.Fault f -> Error f
+  in
+
+  (* 1. A calls B's entry point; B uses C on A's behalf. *)
+  (match run [ Isa.Const (0, 21); Isa.Call code_b; Isa.Halt ] with
+  | Ok v -> Printf.printf "A -> B(21) -> C doubles it, B adds 1:  %d\n" v
+  | Error f -> Printf.printf "unexpected fault: %s\n" (Fault.to_string f));
+
+  (* 2. A cannot jump into the middle of B (call permission => aligned
+     entry points only). *)
+  (match run [ Isa.Call (code_b + Isa.instr_bytes); Isa.Halt ] with
+  | Ok _ -> print_endline "?! mid-domain entry should have faulted"
+  | Error f ->
+      Printf.printf "A -> B+4 rejected: %s\n" (Fault.kind_to_string f.Fault.kind));
+
+  (* 3. A cannot reach C at all — C is only in B's APL. *)
+  (match run [ Isa.Call code_c; Isa.Halt ] with
+  | Ok _ -> print_endline "?! A should not reach C"
+  | Error f -> Printf.printf "A -> C rejected:   %s\n" (Fault.kind_to_string f.Fault.kind));
+
+  (* 4. Capabilities beat APLs where granted: B can hand A a transient
+     capability to one of C's... here we show the mechanism directly by
+     minting a capability for C's entry and letting A call through it. *)
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:code_a
+       [ Isa.Callr 1; Isa.Halt ]);
+  let ctx = Machine.new_ctx m ~pc:code_a ~sp_value:(stack + page) in
+  ctx.Machine.cregs.(6) <-
+    Some
+      {
+        Capability.base = stack;
+        length = page;
+        perm = Perm.Write;
+        scope = Capability.Asynchronous { owner_tag = tag_s; counter = 0; value = 0 };
+      };
+  ctx.Machine.cregs.(0) <-
+    Some
+      {
+        Capability.base = code_c;
+        length = 64;
+        perm = Perm.Read;
+        scope = Capability.Asynchronous { owner_tag = tag_b; counter = 0; value = 0 };
+      };
+  ctx.Machine.regs.(0) <- 8;
+  ctx.Machine.regs.(1) <- code_c;
+  (match Machine.run m ctx with
+  | () ->
+      Printf.printf "A -> C through a capability from B: %d (8 doubled)\n"
+        ctx.Machine.regs.(0)
+  | exception Fault.Fault f -> Printf.printf "fault: %s\n" (Fault.to_string f));
+
+  (* 5. Revoke the capability: the same call now faults immediately. *)
+  Capability.Revocation.revoke m.Machine.revocation ~tag:tag_b ~counter:0;
+  let ctx2 = Machine.new_ctx m ~pc:code_a ~sp_value:(stack + page) in
+  ctx2.Machine.cregs.(6) <-
+    Some
+      {
+        Capability.base = stack;
+        length = page;
+        perm = Perm.Write;
+        scope = Capability.Asynchronous { owner_tag = tag_s; counter = 0; value = 0 };
+      };
+  ctx2.Machine.cregs.(0) <-
+    Some
+      {
+        Capability.base = code_c;
+        length = 64;
+        perm = Perm.Read;
+        scope = Capability.Asynchronous { owner_tag = tag_b; counter = 0; value = 0 };
+      };
+  ctx2.Machine.regs.(1) <- code_c;
+  match Machine.run m ctx2 with
+  | () -> print_endline "?! revoked capability still worked"
+  | exception Fault.Fault f ->
+      Printf.printf "after revocation:  %s\n" (Fault.kind_to_string f.Fault.kind)

@@ -1,0 +1,41 @@
+(* Device-driver isolation (Sec. 7.3): what does it cost to isolate the
+   Infiniband user-level driver behind each mechanism?
+
+     dune exec examples/driver_isolation.exe
+*)
+
+module M = Dipc_workloads.Microbench
+module N = Dipc_workloads.Netpipe
+module Types = Dipc_core.Types
+module Scenario = Dipc_core.Scenario
+
+let () =
+  Printf.printf "Measuring interposition mechanisms...\n%!";
+  let costs =
+    {
+      N.sem_roundtrip = (M.run ~same_cpu:true M.Sem).M.mean_ns;
+      pipe_roundtrip = (M.run ~same_cpu:true M.Pipe).M.mean_ns;
+      dipc_proc_call = (Scenario.measure (Scenario.make ())).Dipc_sim.Stats.s_mean;
+      dipc_same_call =
+        (Scenario.measure (Scenario.make ~same_process:true ())).Dipc_sim.Stats.s_mean;
+    }
+  in
+  Printf.printf
+    "\nSmall-message (64 B) latency when the driver is isolated with:\n";
+  List.iter
+    (fun mech ->
+      Printf.printf "  %-26s %8.2f us  (+%5.1f%%)\n" (N.mechanism_name mech)
+        (N.latency costs mech ~bytes:64 /. 1000.)
+        (N.latency_overhead_pct costs mech ~bytes:64))
+    [ N.Baseline; N.Dipc_same; N.Dipc_proc; N.Kernel_driver; N.Sem_ipc; N.Pipe_ipc ];
+  Printf.printf
+    "\n4 KiB streaming bandwidth:\n";
+  List.iter
+    (fun mech ->
+      Printf.printf "  %-26s %8.2f Gb/s (-%5.1f%%)\n" (N.mechanism_name mech)
+        (N.bandwidth costs mech ~bytes:4096 *. 8.)
+        (N.bandwidth_overhead_pct costs mech ~bytes:4096))
+    [ N.Baseline; N.Dipc_same; N.Dipc_proc; N.Kernel_driver; N.Sem_ipc; N.Pipe_ipc ];
+  Printf.printf
+    "\nOnly dIPC keeps the driver isolated at near-native latency, which\n\
+     is what lets the OS reclaim control of I/O policy (Sec. 7.3).\n"

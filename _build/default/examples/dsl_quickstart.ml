@@ -1,0 +1,42 @@
+(* The quickstart again, but written in the dipcc image-description
+   language — the textual stand-in for the paper's compiler annotations
+   (Sec. 5.3.1).
+
+     dune exec examples/dsl_quickstart.exe
+*)
+
+module Sys_ = Dipc_core.System
+module Dipcc = Dipc_core.Dipcc
+module Annot = Dipc_core.Annot
+
+let source =
+  {|
+# A database exporting query(a, b) = a*b + 1, isolated in its own
+# domain, and a web frontend importing it with register integrity.
+
+process database
+  domain service
+  func query @service
+    mul r0, r0, r1
+    addi r0, r0, 1
+    ret
+  end
+  entry db = query@service sig(args=2, rets=1) policy(reg-conf)
+  publish db /run/db.sock
+
+process web
+  import query /run/db.sock sig(args=2, rets=1) policy(reg-int)
+|}
+
+let () =
+  let sys = Sys_.create () in
+  let loaded = Dipcc.load sys source in
+  let web = (Dipcc.image loaded ~proc:"web").Annot.img_proc in
+  let thread = Sys_.create_thread sys web in
+  print_string source;
+  List.iter
+    (fun (a, b) ->
+      match Dipcc.call sys loaded thread ~proc:"web" ~name:"query" ~args:[ a; b ] with
+      | Ok v -> Printf.printf "query(%d, %d) = %d\n" a b v
+      | Error f -> Printf.printf "fault: %s\n" (Dipc_hw.Fault.to_string f))
+    [ (6, 7); (10, 10); (0, 5) ]

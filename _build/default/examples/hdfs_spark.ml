@@ -1,0 +1,91 @@
+(* The paper's introduction motivates dIPC with, among others, HDFS: "a
+   per-node process to survive the crashes of its client Spark
+   processes".  This example builds that relationship with dIPC: Spark
+   workers call straight into the HDFS datanode through proxies, a worker
+   crash never hurts the datanode, and the datanode's block map stays
+   intact across client generations.
+
+     dune exec examples/hdfs_spark.exe
+*)
+
+module Isa = Dipc_hw.Isa
+module Fault = Dipc_hw.Fault
+module Sys_ = Dipc_core.System
+module Types = Dipc_core.Types
+module Annot = Dipc_core.Annot
+module Resolver = Dipc_core.Resolver
+module Call = Dipc_core.Call
+
+let () =
+  let sys = Sys_.create () in
+  let resolver = Resolver.create () in
+
+  (* --- the HDFS datanode ----------------------------------------- *)
+  let hdfs = Sys_.create_process sys ~name:"hdfs-datanode" in
+  let himg = Annot.image sys hdfs in
+  (* The block store: a word per block id, in the datanode's domain. *)
+  let store = Sys_.dom_mmap sys (Sys_.dom_default hdfs) ~bytes:4096 () in
+  (* write_block(block, value) stores and returns the block id;
+     read_block(block) loads. *)
+  ignore
+    (Annot.declare_function sys himg ~name:"write_block"
+       [
+         Isa.Const (12, store);
+         Isa.Shli (13, 0, 3);
+         Isa.Add (12, 12, 13);
+         Isa.Store (12, 0, 1);
+         Isa.Ret;
+       ]);
+  ignore
+    (Annot.declare_function sys himg ~name:"read_block"
+       [
+         Isa.Const (12, store);
+         Isa.Shli (13, 0, 3);
+         Isa.Add (12, 12, 13);
+         Isa.Load (0, 12, 0);
+         Isa.Ret;
+       ]);
+  let sig2 = Types.signature ~args:2 ~rets:1 () in
+  let sig1 = Types.signature ~args:1 ~rets:1 () in
+  (* The datanode trusts nobody: full isolation on its side. *)
+  let handle =
+    Annot.declare_entries sys himg ~name:"dn"
+      [ ("write_block", sig2, Types.props_high); ("read_block", sig1, Types.props_high) ]
+  in
+  Resolver.publish resolver ~path:"/hdfs/dn0" handle;
+
+  (* --- a Spark worker: writes blocks, then crashes ---------------- *)
+  let spark1 = Sys_.create_process sys ~name:"spark-worker-1" in
+  let simg1 = Annot.image sys spark1 in
+  let import img index sig_ =
+    Annot.import img ~path:"/hdfs/dn0" ~index ~sig_ ~props:Types.props_high ()
+  in
+  let w1 = import simg1 0 sig2 in
+  let th1 = Sys_.create_thread sys spark1 in
+  List.iter
+    (fun (blk, v) ->
+      match Annot.call sys resolver th1 w1 ~args:[ blk; v ] with
+      | Ok _ -> Printf.printf "worker-1: wrote block %d = %d\n" blk v
+      | Error f -> Printf.printf "worker-1 fault: %s\n" (Fault.to_string f))
+    [ (0, 111); (1, 222); (2, 333) ];
+
+  (* The worker crashes mid-computation (its own bug, not in a call). *)
+  let boom = Annot.declare_function sys simg1 ~name:"boom" [ Isa.Trap 9 ] in
+  (match Call.exec sys th1 ~fn:boom ~args:[] with
+  | Ok _ -> ()
+  | Error f -> Printf.printf "worker-1 crashed: %s\n" (Fault.to_string f));
+  Sys_.kill_process sys spark1;
+  Printf.printf "worker-1 is gone; the datanode survived: %b\n" hdfs.Sys_.alive;
+
+  (* --- a second generation of workers reads the data back --------- *)
+  let spark2 = Sys_.create_process sys ~name:"spark-worker-2" in
+  let simg2 = Annot.image sys spark2 in
+  let r2 = import simg2 1 sig1 in
+  let th2 = Sys_.create_thread sys spark2 in
+  List.iter
+    (fun blk ->
+      match Annot.call sys resolver th2 r2 ~args:[ blk ] with
+      | Ok v -> Printf.printf "worker-2: block %d = %d\n" blk v
+      | Error f -> Printf.printf "worker-2 fault: %s\n" (Fault.to_string f))
+    [ 0; 1; 2 ];
+  print_endline "block data survived the client crash (state isolation, P1/P5)"

@@ -1,0 +1,38 @@
+(* The paper's running example: a 3-tier OLTP web stack
+   (Apache -> PHP -> MariaDB) under three isolation regimes.
+
+     dune exec examples/oltp_stack.exe
+
+   Prints the Figure 8 comparison at one concurrency level: the Linux
+   baseline (processes + UNIX-socket IPC), dIPC (in-place cross-process
+   calls), and the unsafe Ideal. *)
+
+module O = Dipc_workloads.Oltp
+
+let () =
+  let threads = 16 in
+  Printf.printf
+    "3-tier OLTP web stack, 4 CPUs, %d threads per component, in-memory DB\n\n"
+    threads;
+  let results =
+    List.map
+      (fun config -> O.run ~config ~db_mode:O.In_memory ~threads ())
+      [ O.Linux; O.Dipc; O.Ideal ]
+  in
+  Printf.printf "  %-16s %14s %12s %8s %8s %8s\n" "configuration" "ops/min"
+    "latency[ms]" "user" "kernel" "idle";
+  List.iter
+    (fun (r : O.result) ->
+      Printf.printf "  %-16s %14.0f %12.2f %7.1f%% %7.1f%% %7.1f%%\n"
+        (O.config_name r.O.r_config) r.O.r_throughput_opm
+        (r.O.r_latency_ns.Dipc_sim.Stats.s_mean /. 1e6)
+        (100. *. r.O.r_user_frac) (100. *. r.O.r_kernel_frac)
+        (100. *. r.O.r_idle_frac))
+    results;
+  match results with
+  | [ lx; dp; id ] ->
+      Printf.printf "\n  dIPC speedup over Linux : %.2fx (paper: 5.12x at 16 threads)\n"
+        (dp.O.r_throughput_opm /. lx.O.r_throughput_opm);
+      Printf.printf "  dIPC efficiency vs Ideal: %.1f%% (paper: >94%%)\n"
+        (100. *. dp.O.r_throughput_opm /. id.O.r_throughput_opm)
+  | _ -> ()

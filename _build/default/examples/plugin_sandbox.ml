@@ -1,0 +1,98 @@
+(* Asymmetric isolation: an application hosting an untrusted plugin in
+   the same process (Sec. 2.4 / 3.3).
+
+     dune exec examples/plugin_sandbox.exe
+
+   The application calls the plugin through a proxy with register
+   integrity (the app protects its state) — while the plugin gets no
+   protection at all, so calls into it stay nearly free.  The example
+   shows three things:
+   - the plugin computes for the app across the domain boundary;
+   - the plugin cannot read the app's secrets (P1);
+   - a crashing plugin is unwound and flagged, not fatal (Sec. 5.2.1). *)
+
+module Isa = Dipc_hw.Isa
+module Fault = Dipc_hw.Fault
+module System = Dipc_core.System
+module Types = Dipc_core.Types
+module Annot = Dipc_core.Annot
+module Resolver = Dipc_core.Resolver
+module Call = Dipc_core.Call
+
+let () =
+  let sys = System.create () in
+  let resolver = Resolver.create () in
+  let app = System.create_process sys ~name:"app" in
+  let image = Annot.image sys app in
+
+  (* The plugin lives in its own domain of the same process. *)
+  ignore (Annot.declare_domain sys image "plugin");
+  ignore
+    (Annot.declare_function sys image ~name:"render" ~dom:"plugin"
+       [ Isa.Mul (0, 0, 1); Isa.Ret ]);
+  ignore
+    (Annot.declare_function sys image ~name:"crashy" ~dom:"plugin" [ Isa.Trap 3 ]);
+
+  (* The app's secret sits in its default domain; the plugin's APL has no
+     entry for it. *)
+  let secret_addr = System.dom_mmap sys (System.dom_default app) ~bytes:4096 () in
+  System.store sys secret_addr 0xC0FFEE;
+  ignore
+    (Annot.declare_function sys image ~name:"steal" ~dom:"plugin"
+       [ Isa.Const (1, secret_addr); Isa.Load (0, 1, 0); Isa.Ret ]);
+
+  let sig2 = Types.signature ~args:2 ~rets:1 () in
+  let sig0 = Types.signature ~args:0 ~rets:1 () in
+  (* Asymmetric policy: the app requests register integrity (protecting
+     its state) and stack confidentiality (the plugin runs on its own
+     stack, which also enables crash recovery, Sec. 5.2.3); the plugin
+     requests nothing and gets nothing — that asymmetry is the point. *)
+  let app_side =
+    {
+      Types.props_none with
+      Types.reg_integrity = true;
+      Types.stack_confidentiality = true;
+    }
+  in
+  let handle =
+    Annot.declare_entries sys image ~name:"plugin-api" ~dom:"plugin"
+      [
+        ("render", sig2, Types.props_none);
+        ("crashy", sig2, Types.props_none);
+        ("steal", sig0, Types.props_none);
+      ]
+  in
+  Resolver.publish resolver ~path:"/plugin" handle;
+
+  let import index sig_ =
+    Annot.import image ~path:"/plugin" ~index ~sig_ ~props:app_side ()
+  in
+  let render = import 0 sig2 and crashy = import 1 sig2 and steal = import 2 sig0 in
+  let th = System.create_thread sys app in
+
+  (* 1. Normal plugin call. *)
+  (match Annot.call sys resolver th render ~args:[ 6; 7 ] with
+  | Ok v -> Printf.printf "render(6, 7)   = %d\n" v
+  | Error f -> Printf.printf "render fault: %s\n" (Fault.to_string f));
+
+  (* 2. The plugin cannot reach the app's secret: the call faults inside
+     the plugin, and since the entry was invoked from the app (the only
+     living caller), the app is resumed with an error flag. *)
+  (match Annot.call sys resolver th steal ~args:[] with
+  | Ok _ ->
+      Printf.printf "steal()        = returned (errno=%d, secret NOT read: %s)\n"
+        (System.errno sys th)
+        (if System.errno sys th = Types.err_callee_fault then "fault flagged" else "?")
+  | Error f -> Printf.printf "steal() killed the thread: %s\n" (Fault.to_string f));
+
+  (* 3. A crashing plugin is survivable: the app sees errno, not death. *)
+  (match Annot.call sys resolver th crashy ~args:[ 1; 2 ] with
+  | Ok _ ->
+      Printf.printf "crashy()       = unwound, errno=%d (app survives)\n"
+        (System.errno sys th)
+  | Error f -> Printf.printf "crashy() was fatal: %s\n" (Fault.to_string f));
+
+  (* 4. And the app keeps working afterwards. *)
+  match Annot.call sys resolver th render ~args:[ 3; 5 ] with
+  | Ok v -> Printf.printf "render(3, 5)   = %d (after the crash)\n" v
+  | Error f -> Printf.printf "fault: %s\n" (Fault.to_string f)

@@ -1,0 +1,69 @@
+(* Quickstart: two processes, one dIPC entry point.
+
+   A "database" process exports query(a, b); a "web" process imports it
+   through the default named-socket resolver and calls it like a local
+   function.  Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+module Isa = Dipc_hw.Isa
+module Machine = Dipc_hw.Machine
+module System = Dipc_core.System
+module Types = Dipc_core.Types
+module Annot = Dipc_core.Annot
+module Resolver = Dipc_core.Resolver
+
+let () =
+  (* One dIPC system: a shared CODOMs page table plus the kernel objects. *)
+  let sys = System.create () in
+  let resolver = Resolver.create () in
+
+  (* --- the database process ------------------------------------- *)
+  let db = System.create_process sys ~name:"database" in
+  let db_image = Annot.image sys db in
+  (* The exported function, written against the toy machine's ISA:
+     query(a, b) = a + b. *)
+  let _addr =
+    Annot.declare_function sys db_image ~name:"query"
+      [ Isa.Add (0, 0, 1); Isa.Ret ]
+  in
+  (* Export it: signature (2 register args, 1 result) and the isolation
+     the database insists on — full confidentiality of its registers. *)
+  let signature = Types.signature ~args:2 ~rets:1 () in
+  let db_policy = { Types.props_none with Types.reg_confidentiality = true } in
+  let handle =
+    Annot.declare_entries sys db_image ~name:"db"
+      [ ("query", signature, db_policy) ]
+  in
+  Resolver.publish resolver ~path:"/run/dipc/db.sock" handle;
+
+  (* --- the web process ------------------------------------------ *)
+  let web = System.create_process sys ~name:"web" in
+  let web_image = Annot.image sys web in
+  (* Import the symbol; the web side wants its registers protected from
+     the database (register integrity). *)
+  let web_policy = { Types.props_none with Types.reg_integrity = true } in
+  let query =
+    Annot.import web_image ~path:"/run/dipc/db.sock" ~sig_:signature
+      ~props:web_policy ()
+  in
+
+  (* --- call it --------------------------------------------------- *)
+  let thread = System.create_thread sys web in
+  Printf.printf "web(pid %d) -> database(pid %d): query(40, 2)\n" web.System.pid
+    db.System.pid;
+  (match Annot.call sys resolver thread query ~args:[ 40; 2 ] with
+  | Ok result -> Printf.printf "  result = %d\n" result
+  | Error fault -> Printf.printf "  fault: %s\n" (Dipc_hw.Fault.to_string fault));
+
+  (* The first call resolved the symbol (built the proxy); warm calls are
+     just a function call through the trusted proxy. *)
+  let ctx = thread.System.t_ctx in
+  let before = ctx.Machine.cost in
+  (match Annot.call sys resolver thread query ~args:[ 1; 2 ] with
+  | Ok result -> Printf.printf "  query(1, 2) = %d\n" result
+  | Error fault -> Printf.printf "  fault: %s\n" (Dipc_hw.Fault.to_string fault));
+  Printf.printf "  warm cross-process call cost: %.1f ns (simulated)\n"
+    (ctx.Machine.cost -. before);
+  Printf.printf "  (a local RPC for the same call costs ~6900 ns)\n"

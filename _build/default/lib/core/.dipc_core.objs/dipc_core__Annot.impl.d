@@ -1,0 +1,1 @@
+lib/core/annot.ml: Array Call Dipc_hw Entry Hashtbl Isolation List Loader Resolver System Types

@@ -1,0 +1,1 @@
+lib/core/annot.mli: Dipc_hw Entry Hashtbl Resolver System Types

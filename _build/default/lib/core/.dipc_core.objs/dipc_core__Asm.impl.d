@@ -1,0 +1,1 @@
+lib/core/asm.ml: Dipc_hw List

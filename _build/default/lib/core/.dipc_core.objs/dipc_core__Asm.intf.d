@@ -1,0 +1,1 @@
+lib/core/asm.mli: Dipc_hw

@@ -1,0 +1,1 @@
+lib/core/call.ml: Array Dipc_hw Hashtbl Kobj List Option System Types

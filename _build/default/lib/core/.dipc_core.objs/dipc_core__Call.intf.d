@@ -1,0 +1,1 @@
+lib/core/call.mli: Dipc_hw System

@@ -1,0 +1,1 @@
+lib/core/dipcc.ml: Annot Asm Dipc_hw Fmt Hashtbl List Loader Resolver String System Types

@@ -1,0 +1,1 @@
+lib/core/dipcc.mli: Annot Dipc_hw Resolver System

@@ -1,0 +1,1 @@
+lib/core/entry.ml: Array Dipc_hw Gvas Hashtbl Proxy System Types

@@ -1,0 +1,1 @@
+lib/core/gvas.ml: Dipc_hw List

@@ -1,0 +1,1 @@
+lib/core/isolation.ml: Asm Dipc_hw Dipc_sim List System Types

@@ -1,0 +1,1 @@
+lib/core/isolation.mli: Asm Dipc_hw Types

@@ -1,0 +1,1 @@
+lib/core/kobj.ml: Dipc_hw

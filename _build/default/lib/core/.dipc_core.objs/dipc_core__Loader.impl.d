@@ -1,0 +1,1 @@
+lib/core/loader.ml: Asm Dipc_hw List System

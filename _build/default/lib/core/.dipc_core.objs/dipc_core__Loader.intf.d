@@ -1,0 +1,1 @@
+lib/core/loader.mli: Asm Dipc_hw System

@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Asm Dipc_hw Hashtbl Kobj List System Types

@@ -1,0 +1,1 @@
+lib/core/resolver.ml: Entry Hashtbl Printf System

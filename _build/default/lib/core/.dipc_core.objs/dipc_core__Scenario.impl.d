@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Annot Call Dipc_hw Dipc_sim Printf Resolver System Types

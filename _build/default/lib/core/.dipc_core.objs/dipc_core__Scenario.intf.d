@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Annot Dipc_hw Dipc_sim Resolver System Types

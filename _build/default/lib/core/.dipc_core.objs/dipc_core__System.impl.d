@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Dipc_hw Dipc_sim Fmt Gvas Hashtbl Kobj Types

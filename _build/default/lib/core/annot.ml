@@ -1,0 +1,144 @@
+(* The annotation / loader layer (Secs. 3.3, 5.3, 6.2).
+
+   The paper's optional compiler pass turns source annotations (dom,
+   entry, perm, iso_caller/iso_callee) into extra binary sections; the
+   loader then creates domains, configures grants, registers exported
+   entry points and lazily resolves imported ones (first use builds the
+   proxy, exactly like dynamic symbol resolution).  This module is that
+   tool-chain as a combinator API: what the annotations *produce* is what
+   these calls produce. *)
+
+module Isa = Dipc_hw.Isa
+module Perm = Dipc_hw.Perm
+
+type image = {
+  img_proc : System.process;
+  img_domains : (string, System.domain_handle) Hashtbl.t;
+  img_functions : (string, int) Hashtbl.t; (* name -> address *)
+  img_entries : (string, Entry.entry_handle) Hashtbl.t;
+}
+
+(* Start building a process image. *)
+let image t proc =
+  let img =
+    {
+      img_proc = proc;
+      img_domains = Hashtbl.create 8;
+      img_functions = Hashtbl.create 16;
+      img_entries = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace img.img_domains "default" (System.dom_default proc);
+  ignore t;
+  img
+
+let domain_handle img name =
+  match Hashtbl.find_opt img.img_domains name with
+  | Some d -> d
+  | None -> System.deny "annot: unknown domain %s" name
+
+(* #pragma dipc dom: declare a named domain inside the process. *)
+let declare_domain t img name =
+  if Hashtbl.mem img.img_domains name then System.deny "annot: duplicate domain %s" name;
+  let d = System.dom_create t img.img_proc in
+  Hashtbl.replace img.img_domains name d;
+  d
+
+(* Place a function's code into a domain. *)
+let declare_function t img ~name ?(dom = "default") instrs =
+  let d = domain_handle img dom in
+  let addr = Loader.place_fn t ~dom:d instrs in
+  Hashtbl.replace img.img_functions name addr;
+  addr
+
+let function_addr img name =
+  match Hashtbl.find_opt img.img_functions name with
+  | Some a -> a
+  | None -> System.deny "annot: unknown function %s" name
+
+(* #pragma dipc perm: direct cross-domain permission inside the process. *)
+let declare_perm t img ~src ~dst perm =
+  let s = domain_handle img src and d = domain_handle img dst in
+  ignore (System.grant_create t ~src:s ~dst:(System.dom_copy d perm))
+
+(* #pragma dipc entry + iso_callee: export entry points.  The loader wraps
+   each function in an auto-generated callee stub and registers the stub
+   address. *)
+let declare_entries t img ~name ?(dom = "default")
+    (entries : (string * Types.signature * Types.props) list) =
+  let d = domain_handle img dom in
+  let descs =
+    List.map
+      (fun (fn, sig_, props) ->
+        let stub = Isolation.gen_callee_stub ~fn_addr:(function_addr img fn) ~sig_ ~props in
+        let stub_addr = Loader.place_program t ~dom:d stub in
+        { Entry.e_addr = stub_addr; e_sig = sig_; e_policy = props })
+      entries
+  in
+  let handle = Entry.entry_register t ~dom:d (Array.of_list descs) in
+  Hashtbl.replace img.img_entries name handle;
+  handle
+
+let entry_handle img name =
+  match Hashtbl.find_opt img.img_entries name with
+  | Some h -> h
+  | None -> System.deny "annot: unknown entry handle %s" name
+
+(* An imported symbol: resolved lazily on first call, like a dynamic
+   symbol (Sec. 3.2). *)
+type symbol = {
+  sym_path : string;
+  sym_index : int; (* which entry in the handle's array *)
+  sym_sig : Types.signature;
+  sym_props : Types.props; (* iso_caller *)
+  sym_image : image;
+  sym_dom : string; (* caller-side domain the call is made from *)
+  mutable sym_stub : int option; (* caller stub address once resolved *)
+}
+
+let import img ~path ?(index = 0) ?(dom = "default") ~sig_ ~props () =
+  {
+    sym_path = path;
+    sym_index = index;
+    sym_sig = sig_;
+    sym_props = props;
+    sym_image = img;
+    sym_dom = dom;
+    sym_stub = None;
+  }
+
+(* Resolve: fetch the handle from the resolver, request proxies, build and
+   place the caller stub (steps A-B of Fig. 3). *)
+let resolve t resolver sym =
+  match sym.sym_stub with
+  | Some addr -> addr
+  | None ->
+      let img = sym.sym_image in
+      let handle =
+        match Resolver.lookup resolver ~path:sym.sym_path ~caller:img.img_proc with
+        | Ok h -> h
+        | Error e -> System.deny "%s" e
+      in
+      let caller_dom = domain_handle img sym.sym_dom in
+      let n = Array.length handle.Entry.eh_entries in
+      let requests =
+        Array.init n (fun i ->
+            if i = sym.sym_index then (sym.sym_sig, sym.sym_props)
+            else (handle.Entry.eh_entries.(i).Entry.e_sig, Types.props_none))
+      in
+      let set = Entry.entry_request t ~caller:img.img_proc ~caller_dom ~entry:handle requests in
+      (* The caller installs call permission to the proxy domain. *)
+      ignore (System.grant_create t ~src:caller_dom ~dst:set.Entry.ps_dom);
+      let proxy = set.Entry.ps_proxies.(sym.sym_index) in
+      let stub =
+        Isolation.gen_caller_stub ~proxy_entry:proxy.Entry.p_entry ~sig_:sym.sym_sig
+          ~props:sym.sym_props
+      in
+      let addr = Loader.place_program t ~dom:caller_dom stub in
+      sym.sym_stub <- Some addr;
+      addr
+
+(* Call an imported symbol on [th] as a fresh top-level invocation. *)
+let call t resolver th sym ~args =
+  let stub = resolve t resolver sym in
+  Call.exec t th ~fn:stub ~args

@@ -1,0 +1,71 @@
+(** The annotation / loader layer (Secs. 3.3, 5.3, 6.2): what the paper's
+    compiler pass and loader produce — domains, direct permissions,
+    exported entries wrapped in callee stubs, and imported symbols that
+    resolve lazily into proxies + caller stubs on first use. *)
+
+module Isa = Dipc_hw.Isa
+module Perm = Dipc_hw.Perm
+
+type image = {
+  img_proc : System.process;
+  img_domains : (string, System.domain_handle) Hashtbl.t;
+  img_functions : (string, int) Hashtbl.t;  (** name -> address *)
+  img_entries : (string, Entry.entry_handle) Hashtbl.t;
+}
+
+(** Start building a process image; "default" names its default domain. *)
+val image : System.t -> System.process -> image
+
+val domain_handle : image -> string -> System.domain_handle
+
+(** #pragma dipc dom *)
+val declare_domain : System.t -> image -> string -> System.domain_handle
+
+(** Place a function's code into a domain. *)
+val declare_function :
+  System.t -> image -> name:string -> ?dom:string -> Isa.instr list -> int
+
+val function_addr : image -> string -> int
+
+(** #pragma dipc perm: direct cross-domain permission inside the image. *)
+val declare_perm : System.t -> image -> src:string -> dst:string -> Perm.t -> unit
+
+(** #pragma dipc entry + iso_callee: wrap each function in a callee stub
+    and register the stub addresses as an entry handle. *)
+val declare_entries :
+  System.t ->
+  image ->
+  name:string ->
+  ?dom:string ->
+  (string * Types.signature * Types.props) list ->
+  Entry.entry_handle
+
+val entry_handle : image -> string -> Entry.entry_handle
+
+(** An imported symbol, resolved lazily like a dynamic symbol
+    (Sec. 3.2). *)
+type symbol
+
+val import :
+  image ->
+  path:string ->
+  ?index:int ->
+  ?dom:string ->
+  sig_:Types.signature ->
+  props:Types.props ->
+  unit ->
+  symbol
+
+(** First-use resolution (steps A-B of Fig. 3): fetch the handle, request
+    proxies, build and place the caller stub; returns its address and
+    memoises it. *)
+val resolve : System.t -> Resolver.t -> symbol -> int
+
+(** Call an imported symbol as a fresh top-level invocation of [th]. *)
+val call :
+  System.t ->
+  Resolver.t ->
+  System.thread ->
+  symbol ->
+  args:int list ->
+  (int, Dipc_hw.Fault.t) result

@@ -1,0 +1,44 @@
+(** Thread flow across processes (Secs. 5.2.1, 5.4): running cross-domain
+    calls, fault notification with KCS unwinding, process-kill delivery,
+    asynchronous calls, and call time-outs via thread splitting. *)
+
+module Machine = Dipc_hw.Machine
+module Fault = Dipc_hw.Fault
+
+(** Prepare [th] to run the function at [fn] with register arguments;
+    its final Ret lands on the runtime's halt trampoline. *)
+val setup : System.t -> System.thread -> fn:int -> args:int list -> unit
+
+(** Unwind the thread's KCS after a fault or kill: pop entries until one
+    whose calling process is alive, flag [code] as errno, and resume at
+    that proxy's return path.  [`Dead] when no living caller remains. *)
+val unwind : System.t -> System.thread -> code:int -> [ `Resumed | `Dead ]
+
+(** Run to completion with fault notification applied; [Error] only when
+    the thread dies with no living caller.  Raises
+    {!Machine.Out_of_fuel} when the fuel budget runs out mid-execution
+    (the thread can be resumed with another [run]). *)
+val run :
+  System.t -> System.thread -> ?fuel:int -> unit -> (int, Fault.t) result
+
+(** [setup] + [run]. *)
+val exec :
+  System.t -> System.thread -> fn:int -> args:int list -> (int, Fault.t) result
+
+(** Deliver a process kill to a thread with the killed process's frames
+    live on its KCS (Sec. 5.2.1). *)
+val deliver_kill : System.t -> System.thread -> [ `Resumed | `Dead ]
+
+(** An in-flight asynchronous call (Sec. 5.4: extra threads). *)
+type async
+
+(** Start [fn] on a fresh thread of [proc]. *)
+val exec_async : System.t -> System.process -> fn:int -> args:int list -> async
+
+val await : System.t -> async -> (int, Fault.t) result
+
+(** Split [th] at its topmost stack-switched KCS entry (Sec. 5.4): the
+    caller resumes with a time-out error; the returned callee-side thread
+    keeps running and exits when it returns into the splitting proxy.
+    Requires stack confidentiality on the timed-out entry. *)
+val split_timeout : System.t -> System.thread -> (System.thread, string) result

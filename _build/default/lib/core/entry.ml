@@ -1,0 +1,144 @@
+(* Entry point management (Sec. 5.2.3, Table 2).
+
+   entry_register: a callee publishes an array of entry points (address,
+   signature, isolation properties) of one of its domains.
+
+   entry_request: a caller asks for proxies to those entries, passing the
+   signature it expects (P4: both sides must agree) and its own isolation
+   properties.  dIPC builds one trusted proxy per entry, specialised to
+   the signature and the union of the requested properties, inside a fresh
+   proxy domain P with access to both sides; the caller receives a handle
+   with call permission to P. *)
+
+module Apl = Dipc_hw.Apl
+module Page_table = Dipc_hw.Page_table
+module Layout = Dipc_hw.Layout
+module Perm = Dipc_hw.Perm
+
+type entry_desc = {
+  e_addr : int; (* address of the (callee-stub) entry point *)
+  e_sig : Types.signature;
+  e_policy : Types.props;
+}
+
+type entry_handle = {
+  eh_proc : System.process; (* the callee *)
+  eh_tag : int; (* the domain holding the entries *)
+  eh_entries : entry_desc array;
+}
+
+type proxy_handle = {
+  p_entry : int; (* address the caller stub calls *)
+  p_ret : int; (* the proxy's return path (lives in the KCS) *)
+  p_config : Proxy.config;
+}
+
+type proxy_set = {
+  ps_dom : System.domain_handle; (* call-permission handle to domain P *)
+  ps_proxies : proxy_handle array;
+}
+
+(* One template cache per system would be natural; a global one matches
+   the paper's build-time template generation and lets the bench report
+   aggregate template statistics. *)
+let template_cache = Proxy.cache_create ()
+
+let entry_register t ~dom (entries : entry_desc array) =
+  if not (Perm.equal dom.System.dom_perm Perm.Owner) then
+    System.deny "entry_register: owner permission required";
+  let owner_pid = Hashtbl.find t.System.tag_owner dom.System.dom_tag in
+  let proc =
+    match System.find_process t owner_pid with
+    | Some p -> p
+    | None -> System.deny "entry_register: unknown owner"
+  in
+  System.require_dipc proc ~op:"entry_register";
+  Array.iter
+    (fun e ->
+      match Page_table.find t.System.machine.System.Machine.page_table e.e_addr with
+      | Some page when page.Page_table.tag = dom.System.dom_tag -> ()
+      | Some _ -> System.deny "entry_register: entry 0x%x not in the domain" e.e_addr
+      | None -> System.deny "entry_register: entry 0x%x unmapped" e.e_addr)
+    entries;
+  { eh_proc = proc; eh_tag = dom.System.dom_tag; eh_entries = entries }
+
+(* Effective isolation properties for one proxy (Sec. 5.2.3): integrity
+   properties activate only when the caller requests them;
+   confidentiality of the data stack and DCS activates when either side
+   requests it; register properties stay in the user stubs of whichever
+   side requested them (the proxy only needs to know about register
+   confidentiality to scrub its own scratch registers). *)
+let effective ~(caller : Types.props) ~(callee : Types.props) : Types.props =
+  {
+    reg_integrity = caller.reg_integrity;
+    reg_confidentiality = caller.reg_confidentiality || callee.reg_confidentiality;
+    stack_integrity = caller.stack_integrity;
+    stack_confidentiality =
+      caller.stack_confidentiality || callee.stack_confidentiality;
+    dcs_integrity = caller.dcs_integrity;
+    dcs_confidentiality = caller.dcs_confidentiality || callee.dcs_confidentiality;
+  }
+
+let entry_request t ~caller ~caller_dom ~(entry : entry_handle)
+    (requests : (Types.signature * Types.props) array) =
+  if not caller.System.alive then System.deny "entry_request: dead caller";
+  System.require_dipc caller ~op:"entry_request";
+  if Array.length requests <> Array.length entry.eh_entries then
+    System.deny "entry_request: entry count mismatch";
+  if not (Perm.equal caller_dom.System.dom_perm Perm.Owner) then
+    System.deny "entry_request: owner permission on the caller domain required";
+  (* P4: caller and callee must agree on every signature. *)
+  Array.iteri
+    (fun i (sig_, _) ->
+      if not (Types.signature_equal sig_ entry.eh_entries.(i).e_sig) then
+        System.deny "entry_request: signature mismatch on entry %d" i)
+    requests;
+  let apl = t.System.machine.System.Machine.apl in
+  (* Fresh proxy domain P, trusted and privileged. *)
+  let p_tag = Apl.fresh_tag apl in
+  Apl.grant apl ~src:p_tag ~dst:t.System.universal_tag Perm.Call;
+  Apl.grant apl ~src:p_tag ~dst:t.System.kernel_tag Perm.Write;
+  (* Proxies manipulate the thread's data stacks directly (return-slot
+     rewrite, stack switching). *)
+  Apl.grant apl ~src:p_tag ~dst:t.System.stacks_tag Perm.Write;
+  Apl.grant apl ~src:p_tag ~dst:caller_dom.System.dom_tag Perm.Write;
+  Apl.grant apl ~src:p_tag ~dst:entry.eh_tag Perm.Write;
+  (* Also reach the two processes' default domains: stacks and stubs most
+     commonly live there. *)
+  Apl.grant apl ~src:p_tag ~dst:caller.System.def_tag Perm.Write;
+  Apl.grant apl ~src:p_tag ~dst:entry.eh_proc.System.def_tag Perm.Write;
+  let cross_process = caller.System.pid <> entry.eh_proc.System.pid in
+  (* Code pages for the proxies, in the global address space. *)
+  let estimated = 4096 * max 1 (Array.length requests) in
+  let base =
+    Gvas.alloc t.System.gvas ~owner:entry.eh_proc.System.pid ~bytes:estimated
+  in
+  Page_table.map t.System.machine.System.Machine.page_table ~addr:base
+    ~count:(estimated / Layout.page_size)
+    ~tag:p_tag ~writable:false ~executable:true ~priv_cap:true ();
+  let cursor = ref base in
+  let proxies =
+    Array.mapi
+      (fun i (sig_, caller_props) ->
+        let desc = entry.eh_entries.(i) in
+        let config =
+          {
+            Proxy.sig_;
+            eff = effective ~caller:caller_props ~callee:desc.e_policy;
+            cross_process;
+            tls_switch = cross_process && not t.System.tls_optimized;
+          }
+        in
+        let g =
+          Proxy.generate template_cache
+            ~mem:t.System.machine.System.Machine.mem
+            ~base:(Layout.align_up !cursor Layout.entry_align)
+            ~target_addr:desc.e_addr ~target_tag:entry.eh_tag config
+        in
+        cursor := Layout.align_up !cursor Layout.entry_align + g.Proxy.g_bytes;
+        if !cursor > base + estimated then
+          failwith "entry_request: proxy region overflow";
+        { p_entry = g.Proxy.g_entry; p_ret = g.Proxy.g_ret; p_config = config })
+      requests
+  in
+  { ps_dom = { System.dom_tag = p_tag; dom_perm = Perm.Call }; ps_proxies = proxies }

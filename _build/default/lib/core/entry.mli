@@ -1,0 +1,49 @@
+(** Entry point management (Sec. 5.2.3, Table 2): callees register entry
+    points; callers request proxies to them, with signature agreement
+    (P4) and per-entry isolation-policy negotiation. *)
+
+type entry_desc = {
+  e_addr : int;  (** address of the (callee-stub) entry point *)
+  e_sig : Types.signature;
+  e_policy : Types.props;
+}
+
+type entry_handle = {
+  eh_proc : System.process;  (** the callee *)
+  eh_tag : int;  (** the domain holding the entries *)
+  eh_entries : entry_desc array;
+}
+
+type proxy_handle = {
+  p_entry : int;  (** address the caller stub calls *)
+  p_ret : int;
+  p_config : Proxy.config;
+}
+
+type proxy_set = {
+  ps_dom : System.domain_handle;  (** call-permission handle to domain P *)
+  ps_proxies : proxy_handle array;
+}
+
+(** Shared proxy template cache (build-time templates in the paper). *)
+val template_cache : Proxy.cache
+
+(** Table 2 entry_register: publish an array of entry points of an owned
+    domain; every address must reside in it. *)
+val entry_register : System.t -> dom:System.domain_handle -> entry_desc array -> entry_handle
+
+(** Effective properties for one proxy: integrity activates when the
+    caller requests it, stack/DCS confidentiality when either side
+    does. *)
+val effective : caller:Types.props -> callee:Types.props -> Types.props
+
+(** Table 2 entry_request: build one trusted proxy per entry, specialised
+    to the agreed signature and the effective properties; denies on any
+    signature mismatch (P4). *)
+val entry_request :
+  System.t ->
+  caller:System.process ->
+  caller_dom:System.domain_handle ->
+  entry:entry_handle ->
+  (Types.signature * Types.props) array ->
+  proxy_set

@@ -1,0 +1,58 @@
+(* Global virtual address space allocator (Sec. 6.1.3).
+
+   dIPC-enabled processes share one page table, so virtual addresses are
+   allocated globally: "first, a process globally allocates a block of
+   virtual memory space (currently 1 GB), and then it sub-allocates actual
+   memory from such blocks".  The paper notes global block allocation
+   contends under load and suggests per-CPU pools; we expose the block
+   counter so the ablation bench can model both. *)
+
+module Layout = Dipc_hw.Layout
+
+let block_size = 1 lsl 30 (* 1 GB *)
+
+(* Keep the machine's low addresses free for the kernel image. *)
+let first_block_base = 1 lsl 32
+
+type block = { base : int; mutable cursor : int; owner : int (* pid *) }
+
+type t = {
+  mutable next_block : int;
+  mutable blocks : block list;
+  mutable block_allocations : int; (* global, contended counter *)
+}
+
+let create () = { next_block = 0; blocks = []; block_allocations = 0 }
+
+let alloc_block t ~owner =
+  let base = first_block_base + (t.next_block * block_size) in
+  t.next_block <- t.next_block + 1;
+  t.block_allocations <- t.block_allocations + 1;
+  let b = { base; cursor = base; owner } in
+  t.blocks <- b :: t.blocks;
+  b
+
+(* Sub-allocate [bytes] (page-aligned) for [owner], opening a new global
+   block when the current one is exhausted. *)
+let alloc t ~owner ~bytes =
+  let bytes = Layout.align_up (max bytes Layout.page_size) Layout.page_size in
+  if bytes > block_size then invalid_arg "Gvas.alloc: larger than a block";
+  let usable b = b.owner = owner && b.cursor + bytes <= b.base + block_size in
+  let block =
+    match List.find_opt usable t.blocks with
+    | Some b -> b
+    | None -> alloc_block t ~owner
+  in
+  let addr = block.cursor in
+  block.cursor <- block.cursor + bytes;
+  addr
+
+(* Which process owns the block containing [addr]?  The paper's prototype
+   resolves cross-process page faults by iterating all processes; this
+   direct lookup is the improvement Sec. 7.4 suggests. *)
+let owner_of t addr =
+  List.find_map
+    (fun b -> if addr >= b.base && addr < b.base + block_size then Some b.owner else None)
+    t.blocks
+
+let blocks_allocated t = t.block_allocations

@@ -1,0 +1,118 @@
+(* Auto-generated user-level stubs (Secs. 3.3, 5.3.1).
+
+   The optional compiler pass emits a caller stub around every
+   cross-domain call site and a callee stub around every exported entry
+   point; the stubs implement the isolation properties that do not need
+   privileges (register integrity/confidentiality, data-stack integrity),
+   so they can be co-optimized with the application — here that shows up
+   as: the stub only saves/zeroes the registers the "compiler" knows are
+   live (we model 4 live callee-saved registers). *)
+
+module Isa = Dipc_hw.Isa
+module Layout = Dipc_hw.Layout
+module Perm = Dipc_hw.Perm
+
+let live_regs = [ 8; 9; 10; 11 ] (* modelled live registers at call sites *)
+
+let scr0 = Isa.scratch0
+
+let scr1 = Isa.scratch1
+
+(* Stack area the integrity capability covers below the stack pointer
+   ("the unused stack area", Sec. 5.2.3). *)
+let unused_stack_window = 1024
+
+(* isolate_call / deisolate_call around a proxy call.  Returns the stub as
+   an Asm program; the stub is itself a function (call it, it returns the
+   entry's results). *)
+let gen_caller_stub ~proxy_entry ~(sig_ : Types.signature) ~(props : Types.props) =
+  let a = Asm.create () in
+  let entry = Asm.label "stub" in
+  Asm.align a Layout.entry_align;
+  Asm.bind a entry;
+  (* isolate_call: register integrity — spill live registers. *)
+  if props.Types.reg_integrity then begin
+    Asm.ins a (Isa.Addi (Isa.sp, Isa.sp, -(8 * List.length live_regs)));
+    List.iteri (fun i r -> Asm.ins a (Isa.Store (Isa.sp, 8 * i, r))) live_regs
+  end;
+  (* isolate_call: data stack integrity — capabilities over the in-stack
+     arguments and the unused stack area, narrowed from the thread's
+     private stack capability (c6). *)
+  if props.Types.stack_integrity then begin
+    if sig_.Types.stack_bytes > 0 then begin
+      Asm.ins a (Isa.Mov (scr0, Isa.sp));
+      Asm.ins a (Isa.Const (scr1, sig_.Types.stack_bytes));
+      Asm.ins a (Isa.CapRestrict (0, System.stack_creg, scr0, scr1, Perm.Read))
+    end;
+    Asm.ins a (Isa.Addi (scr0, Isa.sp, -unused_stack_window));
+    Asm.ins a (Isa.Const (scr1, unused_stack_window));
+    Asm.ins a (Isa.CapRestrict (1, System.stack_creg, scr0, scr1, Perm.Write))
+  end;
+  (* isolate_call: register confidentiality — zero everything the callee
+     must not see.  Live registers are only zeroed when integrity saved
+     them first. *)
+  if props.Types.reg_confidentiality then begin
+    for r = sig_.Types.args to 7 do
+      Asm.ins a (Isa.Const (r, 0))
+    done;
+    if props.Types.reg_integrity then
+      List.iter (fun r -> Asm.ins a (Isa.Const (r, 0))) live_regs;
+    Asm.ins a (Isa.Const (Isa.scratch0, 0));
+    Asm.ins a (Isa.Const (Isa.scratch1, 0));
+    Asm.ins a (Isa.Const (Isa.scratch2, 0))
+  end;
+  Asm.ins a (Isa.Call proxy_entry);
+  (* deisolate_call. *)
+  if props.Types.stack_integrity then begin
+    Asm.ins a (Isa.CapClear 0);
+    Asm.ins a (Isa.CapClear 1)
+  end;
+  if props.Types.reg_integrity then begin
+    List.iteri (fun i r -> Asm.ins a (Isa.Load (r, Isa.sp, 8 * i))) live_regs;
+    Asm.ins a (Isa.Addi (Isa.sp, Isa.sp, 8 * List.length live_regs))
+  end;
+  Asm.ins a Isa.Ret;
+  (a, entry)
+
+(* Callee stub wrapping the real function (the address registered with
+   entry_register).  isolate_ret zeroes non-result registers when the
+   callee requested register confidentiality. *)
+let gen_callee_stub ~fn_addr ~(sig_ : Types.signature) ~(props : Types.props) =
+  let a = Asm.create () in
+  let entry = Asm.label "callee_stub" in
+  Asm.align a Layout.entry_align;
+  Asm.bind a entry;
+  Asm.ins a (Isa.Call fn_addr);
+  if props.Types.reg_confidentiality then begin
+    for r = sig_.Types.rets to 7 do
+      Asm.ins a (Isa.Const (r, 0))
+    done;
+    Asm.ins a (Isa.Const (Isa.scratch0, 0));
+    Asm.ins a (Isa.Const (Isa.scratch1, 0));
+    Asm.ins a (Isa.Const (Isa.scratch2, 0))
+  end;
+  Asm.ins a Isa.Ret;
+  (a, entry)
+
+(* Place a stub into already-mapped executable pages at [addr]; returns
+   (entry address, first free address). *)
+let place mem ~addr (a, entry) =
+  let code, last = Asm.assemble a ~base:addr in
+  List.iter (fun (i_addr, i) -> ignore (Dipc_hw.Memory.place_code mem ~addr:i_addr [ i ])) code;
+  (Asm.target entry, last)
+
+(* Cost model for the setjmp-vs-try co-optimisation experiment
+   (Sec. 5.3.1): saving all registers with setjmp versus compiler-
+   reconstructed state with C++ try.  Returns (setjmp_ns, try_ns). *)
+let exception_recovery_costs () =
+  let regs = 16 in
+  let setjmp =
+    (* store every register + signal mask bookkeeping *)
+    (float_of_int regs *. Dipc_sim.Costs.instr_mem) +. 6.0
+  in
+  let try_based =
+    (* registration-free: only a landing-pad table entry; reconstruction
+       happens on the (cold) error path. *)
+    (setjmp /. 2.5)
+  in
+  (setjmp, try_based)

@@ -1,0 +1,107 @@
+(* In-memory layout of the dIPC kernel objects the proxies touch.
+
+   Proxies are ordinary (privileged) code, so everything they read or
+   write on the fast path — the per-thread struct, the KCS, the process
+   structs and the process-tracking cache array (Sec. 6.1.2) — lives in
+   kernel-tagged pages of the simulated machine at the offsets defined
+   here.  The host-side OCaml structures mirror this memory, never replace
+   it: the generated code is the source of truth on the fast path. *)
+
+let word = Dipc_hw.Layout.word_size
+
+(* --- per-thread struct (one page) --- *)
+
+(* Offsets within the thread struct, reached via RdTp. *)
+let ts_kcs_top = 0 (* address of next free KCS entry *)
+
+let ts_kcs_base = 8
+
+let ts_stack_base = 16 (* current valid data-stack lower bound *)
+
+let ts_stack_limit = 24 (* current valid data-stack upper bound *)
+
+let ts_current = 32 (* pointer to the current process struct *)
+
+let ts_errno = 40 (* fault flag set by KCS unwinding (Sec. 5.2.1) *)
+
+let ts_kcs_limit = 48 (* end of the KCS region *)
+
+let ts_cap_save = 56 (* capability-storage area: return caps of live KCS entries *)
+
+(* Process-tracking cache array (Sec. 6.1.2): indexed by the hardware
+   domain tag, "which points to the target process/thread identifier pair";
+   we store (process struct pointer, per-thread stack top for that
+   process). *)
+let ts_cache = 64
+
+let cache_entry_bytes = 16
+
+let cache_entries = 32 (* one per APL-cache hardware tag *)
+
+let ts_cache_proc hw = ts_cache + (hw * cache_entry_bytes)
+
+let ts_cache_stack hw = ts_cache + (hw * cache_entry_bytes) + word
+
+let thread_struct_bytes = ts_cache + (cache_entries * cache_entry_bytes)
+
+(* --- process struct --- *)
+
+let ps_pid = 0
+
+let ps_tls = 8 (* TLS segment base for this process *)
+
+let ps_tag = 16 (* default domain tag *)
+
+let proc_struct_bytes = 64
+
+(* --- KCS entry (128 B) --- *)
+
+(* "The proxy saves the current process, return address, and stack
+   pointers into the KCS" (Sec. 5.2.3, P3); the extra fields support fault
+   unwinding and nested cross-process calls. *)
+let ke_ret_addr = 0 (* caller's return address, moved off the data stack *)
+
+let ke_saved_sp = 8 (* caller's stack pointer at entry *)
+
+let ke_saved_current = 16 (* caller's process struct *)
+
+let ke_saved_fsbase = 24 (* caller's TLS base *)
+
+let ke_proxy_ret = 32 (* resume point used by fault unwinding *)
+
+let ke_saved_stack_base = 40 (* caller's stack bounds (restored on return) *)
+
+let ke_saved_stack_limit = 48
+
+let ke_saved_cache_stack = 56 (* saved stack-top cache slot value (nesting) *)
+
+let ke_depth = 64 (* hardware call depth at proxy entry (for unwinding) *)
+
+let ke_flags = 72 (* which reversible state switches this proxy performed *)
+
+let ke_saved_dcs_base = 80 (* caller's DCS base (DCS integrity) *)
+
+let ke_target_tag = 88 (* callee domain tag (debugging, timeouts) *)
+
+let ke_scratch0 = 96 (* proxy-internal spills (cache slot address, ...) *)
+
+let ke_scratch1 = 104
+
+let ke_scratch2 = 112
+
+let ke_scratch3 = 120 (* stash for r11 while the proxy borrows it *)
+
+let kcs_entry_bytes = 128
+
+(* ke_flags bits *)
+let kf_dcs_switched = 1
+
+let kf_dcs_base_adjusted = 2
+
+let kf_stack_switched = 4
+
+let kf_proc_switched = 8
+
+(* Fixed per-crossing reservation on the callee's stack when stacks are
+   split (stack confidentiality); generous for the workloads we model. *)
+let stack_frame_reserve = 8192

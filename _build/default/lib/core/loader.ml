@@ -1,0 +1,30 @@
+(* Program loader: places generated code into a domain's executable pages
+   (the role the paper's modified application loader plays, Sec. 5.3.2). *)
+
+module Layout = Dipc_hw.Layout
+
+(* Allocate executable pages in [dom] and place the assembled program;
+   returns the address of [entry]. *)
+let place_program t ~dom (a, entry) =
+  let bytes = max Layout.page_size (Asm.size a ~base:0) in
+  let addr =
+    System.dom_mmap t dom ~bytes ~writable:false ~executable:true ()
+  in
+  let code, _last = Asm.assemble a ~base:addr in
+  List.iter
+    (fun (i_addr, i) ->
+      ignore
+        (Dipc_hw.Memory.place_code t.System.machine.System.Machine.mem ~addr:i_addr
+           [ i ]))
+    code;
+  Asm.target entry
+
+(* Place a raw instruction list (one simple function); returns its
+   address. *)
+let place_fn t ~dom instrs =
+  let a = Asm.create () in
+  let entry = Asm.label "fn" in
+  Asm.align a Layout.entry_align;
+  Asm.bind a entry;
+  List.iter (Asm.ins a) instrs;
+  place_program t ~dom (a, entry)

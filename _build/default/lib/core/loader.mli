@@ -1,0 +1,11 @@
+(** Program loader: places generated code into a domain's executable
+    pages (the role of the paper's modified application loader,
+    Sec. 5.3.2). *)
+
+(** Allocate executable pages in [dom], place the assembled program, and
+    return the address of its entry label. *)
+val place_program : System.t -> dom:System.domain_handle -> Asm.t * Asm.label -> int
+
+(** Place one straight-line function; returns its (entry-aligned)
+    address. *)
+val place_fn : System.t -> dom:System.domain_handle -> Dipc_hw.Isa.instr list -> int

@@ -1,0 +1,1 @@
+lib/hw/apl.ml: Hashtbl List Perm

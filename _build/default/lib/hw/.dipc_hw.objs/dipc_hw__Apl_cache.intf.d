@@ -1,0 +1,1 @@
+lib/hw/apl_cache.mli:

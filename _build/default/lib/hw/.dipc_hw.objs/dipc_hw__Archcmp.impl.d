@@ -1,0 +1,1 @@
+lib/hw/archcmp.ml: Dipc_sim Layout List Printf String

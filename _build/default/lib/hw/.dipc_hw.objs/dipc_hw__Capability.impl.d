@@ -1,0 +1,1 @@
+lib/hw/capability.ml: Fmt Hashtbl Perm Printf

@@ -1,0 +1,1 @@
+lib/hw/capability.mli: Format Perm

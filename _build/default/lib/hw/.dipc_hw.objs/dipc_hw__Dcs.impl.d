@@ -1,0 +1,1 @@
+lib/hw/dcs.ml: Array Capability Fault

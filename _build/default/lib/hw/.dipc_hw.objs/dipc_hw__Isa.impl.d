@@ -1,0 +1,1 @@
+lib/hw/isa.ml: Dipc_sim Fmt Perm

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Apl Apl_cache Array Capability Dcs Dipc_sim Fault Isa Layout Memory Page_table Perm

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Apl Apl_cache Capability Dcs Dipc_sim Memory Page_table Perm

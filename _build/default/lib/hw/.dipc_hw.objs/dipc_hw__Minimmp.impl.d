@@ -1,0 +1,1 @@
+lib/hw/minimmp.ml: Hashtbl List

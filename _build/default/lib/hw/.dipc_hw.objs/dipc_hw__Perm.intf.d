@@ -1,0 +1,1 @@
+lib/hw/perm.mli: Format

@@ -1,0 +1,56 @@
+(* Access Protection Lists (Sec. 4.1).
+
+   Every domain tag T is associated with an APL: the list of tags code in T
+   may access, with a permission each.  A domain always has implicit write
+   access to its own tag ("domain B has implicit read-write access to
+   itself"). *)
+
+type t = {
+  (* (source tag, destination tag) -> permission *)
+  grants : (int * int, Perm.t) Hashtbl.t;
+  mutable next_tag : int;
+  mutable generation : int; (* bumped on every change, invalidates caches *)
+}
+
+let create () = { grants = Hashtbl.create 64; next_tag = 1; generation = 0 }
+
+let fresh_tag t =
+  let tag = t.next_tag in
+  t.next_tag <- t.next_tag + 1;
+  tag
+
+let permission t ~src ~dst =
+  if src = dst then Perm.Write
+  else
+    match Hashtbl.find_opt t.grants (src, dst) with
+    | Some p -> p
+    | None -> Perm.Nil
+
+let grant t ~src ~dst perm =
+  if src = dst then invalid_arg "Apl.grant: a domain's self access is implicit";
+  t.generation <- t.generation + 1;
+  let hw = Perm.to_hardware perm in
+  if Perm.equal hw Perm.Nil then Hashtbl.remove t.grants (src, dst)
+  else Hashtbl.replace t.grants (src, dst) hw
+
+let revoke t ~src ~dst =
+  t.generation <- t.generation + 1;
+  Hashtbl.remove t.grants (src, dst)
+
+(* Drop a domain entirely: its own APL and every grant pointing at it. *)
+let drop_tag t tag =
+  t.generation <- t.generation + 1;
+  let doomed =
+    Hashtbl.fold
+      (fun (src, dst) _ acc ->
+        if src = tag || dst = tag then (src, dst) :: acc else acc)
+      t.grants []
+  in
+  List.iter (Hashtbl.remove t.grants) doomed
+
+let grants_of t ~src =
+  Hashtbl.fold
+    (fun (s, dst) perm acc -> if s = src then (dst, perm) :: acc else acc)
+    t.grants []
+
+let generation t = t.generation

@@ -1,0 +1,89 @@
+(* Per-hardware-thread software-managed APL cache (Secs. 4.1, 4.3).
+
+   The cache holds the access-grant information of recently executed
+   domains and maps each cached domain tag to a small hardware domain tag
+   (5 bits for the 32-entry cache).  dIPC's extension (Sec. 4.3) is a
+   privileged instruction that retrieves the hardware tag of any cached
+   domain; the hardware tag then indexes the per-thread process-tracking
+   array (Sec. 6.1.2).
+
+   The cache is software-managed: on a miss the hardware raises an
+   exception and the OS refills it.  The machine model supports both a
+   strict mode (fault on miss, as real hardware would) and an auto-fill
+   mode that charges a refill cost, which is what the paper's evaluation
+   assumes ("this event never happens on the presented benchmarks",
+   Sec. 7.5). *)
+
+let capacity = 32
+
+type entry = { mutable tag : int; mutable last_use : int }
+
+type t = {
+  entries : entry array; (* index = hardware domain tag *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable refills : int;
+}
+
+let create () =
+  {
+    entries = Array.init capacity (fun _ -> { tag = -1; last_use = 0 });
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    refills = 0;
+  }
+
+let reset t =
+  Array.iter
+    (fun e ->
+      e.tag <- -1;
+      e.last_use <- 0)
+    t.entries;
+  t.clock <- 0
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Hardware tag of [tag] if cached. *)
+let lookup t tag =
+  let found = ref None in
+  Array.iteri
+    (fun i e -> if e.tag = tag && !found = None then found := Some i)
+    t.entries;
+  (match !found with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      t.entries.(i).last_use <- tick t
+  | None -> t.misses <- t.misses + 1);
+  !found
+
+(* Install [tag], evicting the least-recently-used entry; returns the
+   hardware tag it landed on. *)
+let install t tag =
+  let victim = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if e.tag = -1 && t.entries.(!victim).tag <> -1 then victim := i
+      else if
+        e.tag <> -1
+        && t.entries.(!victim).tag <> -1
+        && e.last_use < t.entries.(!victim).last_use
+      then victim := i)
+    t.entries;
+  let e = t.entries.(!victim) in
+  e.tag <- tag;
+  e.last_use <- tick t;
+  t.refills <- t.refills + 1;
+  !victim
+
+(* Lookup-or-install used by the machine in auto-fill mode. *)
+let ensure t tag =
+  match lookup t tag with Some hw -> (hw, true) | None -> (install t tag, false)
+
+let stats t = (t.hits, t.misses, t.refills)
+
+let resident_tags t =
+  Array.to_list t.entries |> List.filter_map (fun e -> if e.tag >= 0 then Some e.tag else None)

@@ -1,0 +1,79 @@
+(* Architecture comparison model for Table 1.
+
+   Best-case round-trip domain switch (S) and bulk data communication (D)
+   on each architecture the paper compares.  Each operation sequence is
+   spelled out so the bench harness can print both the op list (the table's
+   content) and a modelled cost. *)
+
+module Costs = Dipc_sim.Costs
+module Memcost = Dipc_sim.Memcost
+
+type arch = Conventional | Cheri | Mmp | Codoms
+
+let arch_name = function
+  | Conventional -> "Conventional CPU"
+  | Cheri -> "CHERI"
+  | Mmp -> "MMP"
+  | Codoms -> "CODOMs"
+
+(* A micro-operation with a modelled latency. *)
+type op = { op_name : string; op_cost : float }
+
+let op name cost = { op_name = name; op_cost = cost }
+
+let exception_cost = 400.0 (* precise exception + handler entry/exit *)
+
+let pipeline_flush = 40.0
+
+let prot_table_update = 120.0 (* privileged protection-table write + inval *)
+
+(* Round-trip domain switch sequence (the "S" column). *)
+let switch_ops = function
+  | Conventional ->
+      [
+        op "syscall" (Costs.syscall_entry_exit /. 2.);
+        op "swapgs" 4.;
+        op "page table switch" Costs.page_table_switch;
+        op "swapgs" 4.;
+        op "sysret" (Costs.syscall_entry_exit /. 2.);
+        op "syscall" (Costs.syscall_entry_exit /. 2.);
+        op "swapgs" 4.;
+        op "page table switch" Costs.page_table_switch;
+        op "swapgs" 4.;
+        op "sysret" (Costs.syscall_entry_exit /. 2.);
+      ]
+  | Cheri -> [ op "exception (CCall)" exception_cost; op "exception (CReturn)" exception_cost ]
+  | Mmp -> [ op "pipeline flush" pipeline_flush; op "pipeline flush" pipeline_flush ]
+  | Codoms -> [ op "call" Costs.instr_call; op "return" Costs.instr_call ]
+
+(* Bulk data communication for [bytes] (the "D" column). *)
+let data_ops ~bytes = function
+  | Conventional -> [ op "memcpy across address spaces" (Memcost.kernel_copy bytes) ]
+  | Cheri -> [ op "capability setup" Costs.instr_cap_derive ]
+  | Mmp ->
+      let pages = max 1 ((bytes + Layout.page_size - 1) / Layout.page_size) in
+      [
+        op
+          (Printf.sprintf "write+invalidate %d prot. table entries" pages)
+          (float_of_int pages *. prot_table_update);
+      ]
+  | Codoms -> [ op "capability setup" Costs.instr_cap_derive ]
+
+let total ops = List.fold_left (fun acc o -> acc +. o.op_cost) 0. ops
+
+type row = {
+  row_arch : arch;
+  switch : op list;
+  data : op list;
+  switch_cost : float;
+  data_cost : float;
+}
+
+let row ~bytes arch =
+  let switch = switch_ops arch in
+  let data = data_ops ~bytes arch in
+  { row_arch = arch; switch; data; switch_cost = total switch; data_cost = total data }
+
+let table ~bytes = List.map (row ~bytes) [ Conventional; Cheri; Mmp; Codoms ]
+
+let ops_summary ops = String.concat " + " (List.map (fun o -> o.op_name) ops)

@@ -1,0 +1,33 @@
+(** Transient data-sharing capabilities (Sec. 4.2).
+
+    Synchronous capabilities die with the creating thread's call frame;
+    asynchronous capabilities may cross threads and be stored in memory,
+    and support immediate revocation through revocation counters. *)
+
+type scope =
+  | Synchronous of { thread : int; depth : int; epoch : int }
+  | Asynchronous of { owner_tag : int; counter : int; value : int }
+
+type t = { base : int; length : int; perm : Perm.t; scope : scope }
+
+(** Does the capability cover [len] bytes at [addr]? *)
+val covers : t -> addr:int -> len:int -> bool
+
+val grants : t -> Perm.t -> bool
+
+(** Derive a narrower capability; never amplifies range or rights. *)
+val restrict : t -> base:int -> length:int -> perm:Perm.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+
+(** Revocation counters for asynchronous capabilities: a capability
+    stamped with an old counter value is invalid everywhere at once. *)
+module Revocation : sig
+  type table
+
+  val create : unit -> table
+
+  val value : table -> tag:int -> counter:int -> int
+
+  val revoke : table -> tag:int -> counter:int -> unit
+end

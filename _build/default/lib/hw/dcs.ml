@@ -1,0 +1,85 @@
+(* Per-thread Domain Capability Stack (Sec. 4.2).
+
+   All capabilities can be spilled to the DCS, which is bounded by two
+   registers modifiable only by privileged code; unprivileged code moves
+   capabilities with push/pop.  dIPC's proxies implement:
+
+   - DCS integrity: raise the base so the callee cannot pop the caller's
+     non-argument entries, restore it on return (Sec. 5.2.3).
+   - DCS confidentiality (+integrity): switch to a separate stack per
+     domain, copying argument entries per the signature. *)
+
+let default_capacity = 256
+
+type t = {
+  mutable slots : Capability.t option array;
+  mutable base : int; (* lowest index unprivileged code may pop past *)
+  mutable top : int; (* next free slot *)
+}
+
+let create ?(capacity = default_capacity) () =
+  { slots = Array.make capacity None; base = 0; top = 0 }
+
+let depth t = t.top
+
+let base t = t.base
+
+let push t ~pc cap =
+  if t.top >= Array.length t.slots then
+    Fault.raise_fault ~pc (Fault.Dcs_bounds "overflow");
+  t.slots.(t.top) <- Some cap;
+  t.top <- t.top + 1
+
+let pop t ~pc =
+  if t.top <= t.base then
+    Fault.raise_fault ~pc (Fault.Dcs_bounds "pop below base");
+  t.top <- t.top - 1;
+  match t.slots.(t.top) with
+  | Some cap ->
+      t.slots.(t.top) <- None;
+      cap
+  | None -> Fault.raise_fault ~pc (Fault.Dcs_bounds "empty slot")
+
+(* Privileged: used by proxies for DCS integrity. *)
+let set_base t ~pc idx =
+  if idx < 0 || idx > t.top then
+    Fault.raise_fault ~pc (Fault.Dcs_bounds "base out of range");
+  t.base <- idx
+
+(* Privileged: detach the current stack and install a fresh one with the
+   top [args] entries copied over (DCS confidentiality + integrity).
+   Returns the detached state for the matching restore. *)
+type saved = { saved_slots : Capability.t option array; saved_base : int; saved_top : int }
+
+let switch t ~pc ~args =
+  if args > t.top - t.base then
+    Fault.raise_fault ~pc (Fault.Dcs_bounds "more arguments than entries");
+  let saved = { saved_slots = t.slots; saved_base = t.base; saved_top = t.top } in
+  let fresh = Array.make (Array.length t.slots) None in
+  for i = 0 to args - 1 do
+    fresh.(i) <- t.slots.(t.top - args + i)
+  done;
+  t.slots <- fresh;
+  t.base <- 0;
+  t.top <- args;
+  saved
+
+(* Privileged: restore a detached stack, copying the top [rets] entries of
+   the callee stack back as results. *)
+let restore t ~pc ~rets saved =
+  if rets > t.top then Fault.raise_fault ~pc (Fault.Dcs_bounds "more results than entries");
+  let results = Array.init rets (fun i -> t.slots.(t.top - rets + i)) in
+  t.slots <- saved.saved_slots;
+  t.base <- saved.saved_base;
+  t.top <- saved.saved_top;
+  Array.iter
+    (function
+      | Some cap ->
+          if t.top >= Array.length t.slots then
+            Fault.raise_fault ~pc (Fault.Dcs_bounds "overflow on restore")
+          else begin
+            t.slots.(t.top) <- Some cap;
+            t.top <- t.top + 1
+          end
+      | None -> ())
+    results

@@ -1,0 +1,48 @@
+(* Hardware fault model.
+
+   Every protection violation the CODOMs machine can detect raises
+   [Fault.Fault]; the kernel / dIPC layer above catches it to implement
+   fault notification and KCS unwinding (Sec. 5.2.1). *)
+
+type kind =
+  | Unmapped (* access to an unmapped page *)
+  | No_permission of Perm.t (* neither APL nor any capability grants it *)
+  | Not_entry_point (* call-permission transfer to a misaligned address *)
+  | Exec_violation (* fetch from a non-executable page *)
+  | Write_to_readonly (* APL/cap would allow it but the page is read-only *)
+  | Privilege_required (* privileged instruction from a non-priv page *)
+  | Cap_invalid (* revoked or out-of-scope capability *)
+  | Cap_storage of string (* cap-storage-bit discipline violated *)
+  | Dcs_bounds of string (* DCS under/overflow or base violation *)
+  | Apl_cache_miss of int (* strict mode only; payload = missing tag *)
+  | Bad_instruction (* fetch decoded no instruction *)
+  | Software_trap of int (* explicit Trap instruction, e.g. stack check *)
+
+type t = { kind : kind; pc : int; addr : int option }
+
+exception Fault of t
+
+let raise_fault ?addr ~pc kind = raise (Fault { kind; pc; addr })
+
+let kind_to_string = function
+  | Unmapped -> "unmapped page"
+  | No_permission p -> "no " ^ Perm.to_string p ^ " permission"
+  | Not_entry_point -> "misaligned cross-domain call target"
+  | Exec_violation -> "execute violation"
+  | Write_to_readonly -> "write to read-only page"
+  | Privilege_required -> "privileged instruction in user code"
+  | Cap_invalid -> "invalid/revoked capability"
+  | Cap_storage s -> "capability storage violation: " ^ s
+  | Dcs_bounds s -> "DCS bounds violation: " ^ s
+  | Apl_cache_miss t -> Printf.sprintf "APL cache miss (tag %d)" t
+  | Bad_instruction -> "bad instruction"
+  | Software_trap n -> Printf.sprintf "software trap %d" n
+
+let pp ppf t =
+  Fmt.pf ppf "fault[%s] at pc=0x%x%a" (kind_to_string t.kind) t.pc
+    (fun ppf -> function
+      | None -> ()
+      | Some a -> Fmt.pf ppf " addr=0x%x" a)
+    t.addr
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,29 @@
+(** Hardware fault model: every protection violation the machine detects
+    raises {!Fault}; the OS layer above catches it to implement fault
+    notification and KCS unwinding (Sec. 5.2.1). *)
+
+type kind =
+  | Unmapped
+  | No_permission of Perm.t
+  | Not_entry_point  (** call-permission transfer to a misaligned address *)
+  | Exec_violation
+  | Write_to_readonly
+  | Privilege_required
+  | Cap_invalid  (** revoked or out-of-scope capability *)
+  | Cap_storage of string  (** capability-storage-bit discipline violated *)
+  | Dcs_bounds of string
+  | Apl_cache_miss of int  (** strict mode only *)
+  | Bad_instruction
+  | Software_trap of int
+
+type t = { kind : kind; pc : int; addr : int option }
+
+exception Fault of t
+
+val raise_fault : ?addr:int -> pc:int -> kind -> 'a
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,24 @@
+(* Address-space layout constants shared by the whole machine model. *)
+
+let page_size = 4096
+
+let page_shift = 12
+
+let word_size = 8
+
+(* "Any code address used with [Call] permission is an entry point if it is
+   aligned to a system-configurable value" (Sec. 4.1). *)
+let entry_align = 64
+
+(* Capabilities occupy 32 B in memory (Sec. 4.2). *)
+let cap_bytes = 32
+
+let page_of addr = addr lsr page_shift
+
+let page_base addr = addr land lnot (page_size - 1)
+
+let offset_in_page addr = addr land (page_size - 1)
+
+let align_up addr align = (addr + align - 1) land lnot (align - 1)
+
+let is_aligned addr align = addr land (align - 1) = 0

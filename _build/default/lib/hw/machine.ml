@@ -1,0 +1,527 @@
+(* The CODOMs machine: fetch/execute with code-centric protection checks.
+
+   The subject of every access-control decision is the *instruction
+   pointer* (Sec. 4.1): the tag of the page the current instruction lives
+   on selects the APL used to check data accesses and cross-domain control
+   transfers.  Crossing into another domain is just a jump; the effective
+   key set and privilege level change implicitly, which is why domain
+   switches cost no more than the branch itself (Table 1).
+
+   Timing: every instruction charges a calibrated latency (Isa.cost) to the
+   executing context, attributed to a Breakdown category chosen per domain
+   tag; protection checks themselves are free, matching the paper's
+   simulation result that they run in parallel with the pipeline. *)
+
+module Costs = Dipc_sim.Costs
+module Breakdown = Dipc_sim.Breakdown
+
+let apl_cache_refill_cost = 250.0 (* exception + software cache refill *)
+
+type ctx = {
+  id : int;
+  regs : int array;
+  cregs : Capability.t option array;
+  mutable pc : int;
+  mutable cur_tag : int;
+  mutable cur_page : int; (* page of the last fetched instruction *)
+  mutable priv : bool; (* privileged-capability bit of that page *)
+  mutable fsbase : int; (* TLS segment base *)
+  mutable tp : int; (* per-thread kernel struct pointer (gs-like) *)
+  dcs : Dcs.t;
+  mutable dcs_saved : Dcs.saved list;
+  mutable depth : int; (* call depth, for synchronous capability scope *)
+  mutable epochs : int array; (* frame epoch per depth *)
+  mutable cost : float; (* accumulated ns *)
+  mutable instret : int;
+  breakdown : Breakdown.t;
+  apl_cache : Apl_cache.t;
+  mutable halted : bool;
+}
+
+type t = {
+  page_table : Page_table.t;
+  apl : Apl.t;
+  mem : Memory.t;
+  revocation : Capability.Revocation.table;
+  mutable strict_apl_cache : bool;
+  mutable on_syscall : (ctx -> int -> unit) option;
+  mutable attr_of_tag : int -> Breakdown.category;
+  mutable next_ctx_id : int;
+}
+
+exception Out_of_fuel
+
+let create () =
+  {
+    page_table = Page_table.create ();
+    apl = Apl.create ();
+    mem = Memory.create ();
+    revocation = Capability.Revocation.create ();
+    strict_apl_cache = false;
+    on_syscall = None;
+    attr_of_tag = (fun _ -> Breakdown.User_code);
+    next_ctx_id = 0;
+  }
+
+let set_syscall_handler m f = m.on_syscall <- Some f
+
+let set_attribution m f = m.attr_of_tag <- f
+
+let new_ctx ?(dcs_capacity = Dcs.default_capacity) m ~pc ~sp_value =
+  let id = m.next_ctx_id in
+  m.next_ctx_id <- m.next_ctx_id + 1;
+  let regs = Array.make Isa.num_regs 0 in
+  regs.(Isa.sp) <- sp_value;
+  {
+    id;
+    regs;
+    cregs = Array.make Isa.num_cregs None;
+    pc;
+    cur_tag = -1;
+    cur_page = -1;
+    priv = false;
+    fsbase = 0;
+    tp = 0;
+    dcs = Dcs.create ~capacity:dcs_capacity ();
+    dcs_saved = [];
+    depth = 0;
+    epochs = Array.make 64 0;
+    cost = 0.;
+    instret = 0;
+    breakdown = Breakdown.create ();
+    apl_cache = Apl_cache.create ();
+    halted = false;
+  }
+
+let charge m ctx ns =
+  ctx.cost <- ctx.cost +. ns;
+  Breakdown.charge ctx.breakdown (m.attr_of_tag ctx.cur_tag) ns
+
+let charge_as _m ctx category ns =
+  ctx.cost <- ctx.cost +. ns;
+  Breakdown.charge ctx.breakdown category ns
+
+(* --- capability validity (Sec. 4.2) --- *)
+
+let cap_valid m ctx (cap : Capability.t) =
+  match cap.scope with
+  | Capability.Synchronous { thread; depth; epoch } ->
+      thread = ctx.id && depth <= ctx.depth && ctx.epochs.(depth) = epoch
+  | Capability.Asynchronous { owner_tag; counter; value } ->
+      Capability.Revocation.value m.revocation ~tag:owner_tag ~counter = value
+
+(* --- data access checks --- *)
+
+let page_allows (page : Page_table.page) (perm : Perm.t) =
+  match perm with
+  | Perm.Write | Perm.Owner -> page.writable
+  | Perm.Read -> page.readable
+  | Perm.Call | Perm.Nil -> page.readable
+
+(* Check that [ctx] may access [len] bytes at [addr] with [perm]; data
+   accesses are satisfied by the APL of the current domain or by any of the
+   8 capability registers (Sec. 4.2). *)
+let check_data m ctx ~addr ~len ~perm =
+  let page = Page_table.find_exn m.page_table ~pc:ctx.pc addr in
+  if page.cap_store then
+    Fault.raise_fault ~pc:ctx.pc ~addr
+      (Fault.Cap_storage "regular access to a capability-storage page");
+  let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
+  let allowed =
+    if Perm.includes apl_perm perm then true
+    else begin
+      let ok = ref false in
+      for i = 0 to Isa.num_cregs - 1 do
+        match ctx.cregs.(i) with
+        | Some cap
+          when (not !ok)
+               && cap_valid m ctx cap
+               && Capability.covers cap ~addr ~len
+               && Capability.grants cap perm ->
+            ok := true
+        | Some _ | None -> ()
+      done;
+      !ok
+    end
+  in
+  if not allowed then Fault.raise_fault ~pc:ctx.pc ~addr (Fault.No_permission perm);
+  (* CODOMs honors the per-page protection bits (Sec. 4.1). *)
+  if not (page_allows page perm) then begin
+    if Perm.includes perm Perm.Write then
+      Fault.raise_fault ~pc:ctx.pc ~addr Fault.Write_to_readonly
+    else Fault.raise_fault ~pc:ctx.pc ~addr (Fault.No_permission perm)
+  end
+
+let check_cap_page m ctx ~addr ~perm =
+  let page = Page_table.find_exn m.page_table ~pc:ctx.pc addr in
+  if not page.cap_store then
+    Fault.raise_fault ~pc:ctx.pc ~addr
+      (Fault.Cap_storage "capability access to a regular page");
+  let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
+  let allowed =
+    Perm.includes apl_perm perm
+    || begin
+         let ok = ref false in
+         for i = 0 to Isa.num_cregs - 1 do
+           match ctx.cregs.(i) with
+           | Some cap
+             when (not !ok)
+                  && cap_valid m ctx cap
+                  && Capability.covers cap ~addr ~len:Layout.cap_bytes
+                  && Capability.grants cap perm ->
+               ok := true
+           | Some _ | None -> ()
+         done;
+         !ok
+       end
+  in
+  if not allowed then Fault.raise_fault ~pc:ctx.pc ~addr (Fault.No_permission perm);
+  if not (page_allows page perm) then
+    Fault.raise_fault ~pc:ctx.pc ~addr Fault.Write_to_readonly
+
+(* --- control transfer checks (Sec. 4.1) --- *)
+
+(* Called at fetch whenever the pc lands on a different page than the last
+   executed instruction.  [ctx.cur_tag] is still the *source* domain. *)
+let check_transfer m ctx target =
+  let page = Page_table.find_exn m.page_table ~pc:target target in
+  if not page.executable then Fault.raise_fault ~pc:target Fault.Exec_violation;
+  let new_tag = page.tag in
+  if new_tag <> ctx.cur_tag && ctx.cur_tag <> -1 then begin
+    let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:new_tag in
+    let aligned = Layout.is_aligned target Layout.entry_align in
+    let best = ref apl_perm in
+    for i = 0 to Isa.num_cregs - 1 do
+      match ctx.cregs.(i) with
+      | Some cap
+        when cap_valid m ctx cap
+             && Capability.covers cap ~addr:target ~len:Isa.instr_bytes ->
+          if Perm.rank cap.perm > Perm.rank !best then best := cap.perm
+      | Some _ | None -> ()
+    done;
+    (match !best with
+    | Perm.Read | Perm.Write | Perm.Owner -> ()
+    | Perm.Call ->
+        (* Call permission only enters through aligned entry points. *)
+        if not aligned then Fault.raise_fault ~pc:target Fault.Not_entry_point
+    | Perm.Nil -> Fault.raise_fault ~pc:target (Fault.No_permission Perm.Call));
+    (* The instruction pointer now originates from the new domain; its APL
+       becomes the active one, via the per-thread APL cache. *)
+    let _hw, hit = Apl_cache.ensure ctx.apl_cache new_tag in
+    if not hit then begin
+      if m.strict_apl_cache then
+        Fault.raise_fault ~pc:target (Fault.Apl_cache_miss new_tag)
+      else charge_as m ctx Breakdown.Kernel apl_cache_refill_cost
+    end
+  end
+  else if ctx.cur_tag = -1 then ignore (Apl_cache.ensure ctx.apl_cache new_tag);
+  ctx.cur_tag <- new_tag;
+  ctx.cur_page <- Layout.page_of target;
+  ctx.priv <- page.priv_cap
+
+let require_priv ctx =
+  if not ctx.priv then Fault.raise_fault ~pc:ctx.pc Fault.Privilege_required
+
+(* --- frame tracking for synchronous capabilities --- *)
+
+let ensure_epochs ctx depth =
+  if depth >= Array.length ctx.epochs then begin
+    let fresh = Array.make (2 * (depth + 1)) 0 in
+    Array.blit ctx.epochs 0 fresh 0 (Array.length ctx.epochs);
+    ctx.epochs <- fresh
+  end
+
+let enter_frame ctx =
+  ctx.depth <- ctx.depth + 1;
+  ensure_epochs ctx ctx.depth
+
+let leave_frame ctx ~pc =
+  if ctx.depth <= 0 then Fault.raise_fault ~pc (Fault.Software_trap (-1));
+  (* Kill every synchronous capability created in the dying frame. *)
+  ctx.epochs.(ctx.depth) <- ctx.epochs.(ctx.depth) + 1;
+  ctx.depth <- ctx.depth - 1
+
+(* --- register helpers --- *)
+
+let reg ctx r = ctx.regs.(r)
+
+let set_reg ctx r v = ctx.regs.(r) <- v
+
+let creg ctx ~pc c =
+  match ctx.cregs.(c) with
+  | Some cap -> cap
+  | None -> Fault.raise_fault ~pc Fault.Cap_invalid
+
+let valid_creg m ctx ~pc c =
+  let cap = creg ctx ~pc c in
+  if not (cap_valid m ctx cap) then Fault.raise_fault ~pc Fault.Cap_invalid;
+  cap
+
+(* Derive a capability for [base,len) from the current domain's APL: every
+   page in the range must be accessible with at least [perm]. *)
+let derive_from_apl m ctx ~pc ~base ~len ~perm =
+  if len <= 0 then Fault.raise_fault ~pc Fault.Cap_invalid;
+  let first = Layout.page_of base and last = Layout.page_of (base + len - 1) in
+  for p = first to last do
+    let addr = p * Layout.page_size in
+    let page = Page_table.find_exn m.page_table ~pc addr in
+    let granted = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
+    if not (Perm.includes granted perm) then
+      Fault.raise_fault ~pc ~addr (Fault.No_permission perm)
+  done;
+  {
+    Capability.base;
+    length = len;
+    perm;
+    scope =
+      Capability.Synchronous
+        { thread = ctx.id; depth = ctx.depth; epoch = ctx.epochs.(ctx.depth) };
+  }
+
+(* --- the interpreter --- *)
+
+let word = Layout.word_size
+
+let step m ctx =
+  if ctx.halted then `Halted
+  else begin
+    let pc = ctx.pc in
+    if Layout.page_of pc <> ctx.cur_page then check_transfer m ctx pc;
+    let instr =
+      match Memory.fetch m.mem pc with
+      | Some i -> i
+      | None -> Fault.raise_fault ~pc Fault.Bad_instruction
+    in
+    ctx.instret <- ctx.instret + 1;
+    charge m ctx (Isa.cost instr);
+    let next = pc + Isa.instr_bytes in
+    (match instr with
+    | Isa.Nop -> ctx.pc <- next
+    | Isa.Halt -> ctx.halted <- true
+    | Isa.Trap n -> Fault.raise_fault ~pc (Fault.Software_trap n)
+    | Isa.Syscall n -> begin
+        charge_as m ctx Breakdown.Syscall_entry Costs.syscall_entry_exit;
+        charge_as m ctx Breakdown.Dispatch Costs.syscall_dispatch;
+        match m.on_syscall with
+        | Some handler ->
+            handler ctx n;
+            ctx.pc <- next
+        | None -> Fault.raise_fault ~pc (Fault.Software_trap (1000 + n))
+      end
+    | Isa.Jmp target -> ctx.pc <- target
+    | Isa.Jmpr r -> ctx.pc <- reg ctx r
+    | Isa.Call target ->
+        let new_sp = reg ctx Isa.sp - word in
+        check_data m ctx ~addr:new_sp ~len:word ~perm:Perm.Write;
+        Memory.store_word m.mem new_sp next;
+        set_reg ctx Isa.sp new_sp;
+        enter_frame ctx;
+        ctx.pc <- target
+    | Isa.Callr r ->
+        let target = reg ctx r in
+        let new_sp = reg ctx Isa.sp - word in
+        check_data m ctx ~addr:new_sp ~len:word ~perm:Perm.Write;
+        Memory.store_word m.mem new_sp next;
+        set_reg ctx Isa.sp new_sp;
+        enter_frame ctx;
+        ctx.pc <- target
+    | Isa.Ret ->
+        let sp_value = reg ctx Isa.sp in
+        check_data m ctx ~addr:sp_value ~len:word ~perm:Perm.Read;
+        let target = Memory.load_word m.mem sp_value in
+        set_reg ctx Isa.sp (sp_value + word);
+        (* The return transfer is checked with the *returning* frame's
+           rights: a synchronous capability created in this frame (e.g. the
+           proxy's return capability, Sec. 5.2.3/P3) must still satisfy the
+           check even though the frame dies on return. *)
+        check_transfer m ctx target;
+        leave_frame ctx ~pc;
+        ctx.pc <- target
+    | Isa.Beq (a, b, t) -> ctx.pc <- (if reg ctx a = reg ctx b then t else next)
+    | Isa.Bne (a, b, t) -> ctx.pc <- (if reg ctx a <> reg ctx b then t else next)
+    | Isa.Blt (a, b, t) -> ctx.pc <- (if reg ctx a < reg ctx b then t else next)
+    | Isa.Bge (a, b, t) -> ctx.pc <- (if reg ctx a >= reg ctx b then t else next)
+    | Isa.Beqz (a, t) -> ctx.pc <- (if reg ctx a = 0 then t else next)
+    | Isa.Bnez (a, t) -> ctx.pc <- (if reg ctx a <> 0 then t else next)
+    | Isa.Const (r, v) ->
+        set_reg ctx r v;
+        ctx.pc <- next
+    | Isa.Mov (d, s) ->
+        set_reg ctx d (reg ctx s);
+        ctx.pc <- next
+    | Isa.Add (d, a, b) ->
+        set_reg ctx d (reg ctx a + reg ctx b);
+        ctx.pc <- next
+    | Isa.Addi (d, a, i) ->
+        set_reg ctx d (reg ctx a + i);
+        ctx.pc <- next
+    | Isa.Sub (d, a, b) ->
+        set_reg ctx d (reg ctx a - reg ctx b);
+        ctx.pc <- next
+    | Isa.Mul (d, a, b) ->
+        set_reg ctx d (reg ctx a * reg ctx b);
+        ctx.pc <- next
+    | Isa.Shli (d, a, i) ->
+        set_reg ctx d (reg ctx a lsl i);
+        ctx.pc <- next
+    | Isa.Load (d, b, o) ->
+        let addr = reg ctx b + o in
+        check_data m ctx ~addr ~len:word ~perm:Perm.Read;
+        set_reg ctx d (Memory.load_word m.mem addr);
+        ctx.pc <- next
+    | Isa.Store (b, o, s) ->
+        let addr = reg ctx b + o in
+        check_data m ctx ~addr ~len:word ~perm:Perm.Write;
+        Memory.store_word m.mem addr (reg ctx s);
+        ctx.pc <- next
+    | Isa.RdTp r ->
+        require_priv ctx;
+        set_reg ctx r ctx.tp;
+        ctx.pc <- next
+    | Isa.RdDepth r ->
+        require_priv ctx;
+        set_reg ctx r ctx.depth;
+        ctx.pc <- next
+    | Isa.WrFsBase r ->
+        ctx.fsbase <- reg ctx r;
+        ctx.pc <- next
+    | Isa.RdFsBase r ->
+        set_reg ctx r ctx.fsbase;
+        ctx.pc <- next
+    | Isa.GetHwTag (d, s) -> begin
+        require_priv ctx;
+        match Apl_cache.lookup ctx.apl_cache (reg ctx s) with
+        | Some hw ->
+            set_reg ctx d hw;
+            ctx.pc <- next
+        | None ->
+            if m.strict_apl_cache then
+              Fault.raise_fault ~pc (Fault.Apl_cache_miss (reg ctx s))
+            else begin
+              charge_as m ctx Breakdown.Kernel apl_cache_refill_cost;
+              set_reg ctx d (Apl_cache.install ctx.apl_cache (reg ctx s));
+              ctx.pc <- next
+            end
+      end
+    | Isa.CapAplDerive (c, rb, rl, perm) ->
+        let cap =
+          derive_from_apl m ctx ~pc ~base:(reg ctx rb) ~len:(reg ctx rl) ~perm
+        in
+        ctx.cregs.(c) <- Some cap;
+        ctx.pc <- next
+    | Isa.CapRestrict (cd, cs, rb, rl, perm) -> begin
+        let src = valid_creg m ctx ~pc cs in
+        match
+          Capability.restrict src ~base:(reg ctx rb) ~length:(reg ctx rl) ~perm
+        with
+        | Ok cap ->
+            ctx.cregs.(cd) <- Some cap;
+            ctx.pc <- next
+        | Error _ -> Fault.raise_fault ~pc Fault.Cap_invalid
+      end
+    | Isa.CapAsync (cd, cs, rctr) ->
+        let src = valid_creg m ctx ~pc cs in
+        let counter = reg ctx rctr in
+        let value =
+          Capability.Revocation.value m.revocation ~tag:ctx.cur_tag ~counter
+        in
+        ctx.cregs.(cd) <-
+          Some
+            {
+              src with
+              scope = Capability.Asynchronous { owner_tag = ctx.cur_tag; counter; value };
+            };
+        ctx.pc <- next
+    | Isa.CapRevoke rctr ->
+        Capability.Revocation.revoke m.revocation ~tag:ctx.cur_tag
+          ~counter:(reg ctx rctr);
+        ctx.pc <- next
+    | Isa.CapClear c ->
+        ctx.cregs.(c) <- None;
+        ctx.pc <- next
+    | Isa.CapPush c ->
+        Dcs.push ctx.dcs ~pc (valid_creg m ctx ~pc c);
+        ctx.pc <- next
+    | Isa.CapPop c ->
+        ctx.cregs.(c) <- Some (Dcs.pop ctx.dcs ~pc);
+        ctx.pc <- next
+    | Isa.CapLoad (c, rb, o) -> begin
+        let addr = reg ctx rb + o in
+        check_cap_page m ctx ~addr ~perm:Perm.Read;
+        match Memory.load_cap m.mem addr with
+        | Some cap ->
+            ctx.cregs.(c) <- Some cap;
+            ctx.pc <- next
+        | None -> Fault.raise_fault ~pc ~addr Fault.Cap_invalid
+      end
+    | Isa.CapStore (rb, o, c) ->
+        let addr = reg ctx rb + o in
+        check_cap_page m ctx ~addr ~perm:Perm.Write;
+        Memory.store_cap m.mem addr (valid_creg m ctx ~pc c);
+        ctx.pc <- next
+    | Isa.DcsGetTop r ->
+        set_reg ctx r (Dcs.depth ctx.dcs);
+        ctx.pc <- next
+    | Isa.DcsGetBase r ->
+        require_priv ctx;
+        set_reg ctx r (Dcs.base ctx.dcs);
+        ctx.pc <- next
+    | Isa.DcsSetBase r ->
+        require_priv ctx;
+        Dcs.set_base ctx.dcs ~pc (reg ctx r);
+        ctx.pc <- next
+    | Isa.DcsSwitch r ->
+        require_priv ctx;
+        ctx.dcs_saved <- Dcs.switch ctx.dcs ~pc ~args:(reg ctx r) :: ctx.dcs_saved;
+        ctx.pc <- next
+    | Isa.DcsRestore r -> begin
+        require_priv ctx;
+        match ctx.dcs_saved with
+        | saved :: rest ->
+            Dcs.restore ctx.dcs ~pc ~rets:(reg ctx r) saved;
+            ctx.dcs_saved <- rest;
+            ctx.pc <- next
+        | [] -> Fault.raise_fault ~pc (Fault.Dcs_bounds "no saved DCS to restore")
+      end);
+    if ctx.halted then `Halted else `Running
+  end
+
+let run ?(fuel = 10_000_000) m ctx =
+  let remaining = ref fuel in
+  let running = ref true in
+  while !running do
+    if !remaining <= 0 then raise Out_of_fuel;
+    decr remaining;
+    match step m ctx with `Halted -> running := false | `Running -> ()
+  done
+
+(* --- conveniences used by the OS layer and tests --- *)
+
+(* Kernel-privilege control transfer: used when the OS redirects a thread
+   (fault unwinding, Sec. 5.2.1) — no APL checks apply, the kernel is the
+   most privileged agent in the system. *)
+let force_transfer m ctx ~target =
+  let page = Page_table.find_exn m.page_table ~pc:target target in
+  ctx.pc <- target;
+  ctx.cur_tag <- page.tag;
+  ctx.cur_page <- Layout.page_of target;
+  ctx.priv <- page.priv_cap;
+  ctx.halted <- false;
+  ignore (Apl_cache.ensure ctx.apl_cache page.tag)
+
+(* Kernel-privilege frame adjustment for unwinding: drop to [depth],
+   invalidating every synchronous capability created in the dropped
+   frames. *)
+let force_unwind_depth ctx ~depth =
+  if depth < 0 || depth > ctx.depth then invalid_arg "force_unwind_depth";
+  for d = depth + 1 to ctx.depth do
+    ctx.epochs.(d) <- ctx.epochs.(d) + 1
+  done;
+  ctx.depth <- depth
+
+(* Write a buffer of words into memory without protection checks (loader /
+   DMA path). *)
+let poke_words m ~addr words =
+  Array.iteri (fun i v -> Memory.store_word m.mem (addr + (i * word)) v) words
+
+let peek_word m ~addr = Memory.load_word m.mem addr

@@ -1,0 +1,98 @@
+(** The CODOMs machine: fetch/execute with code-centric protection
+    checks (Sec. 4.1).  The tag of the current instruction's page selects
+    the APL used for data-access and control-transfer checks; crossing
+    into another domain is just a jump.  Every instruction charges a
+    calibrated latency; the protection checks themselves cost nothing
+    (they run in parallel with the pipeline, per the paper's
+    simulations). *)
+
+module Breakdown = Dipc_sim.Breakdown
+
+(** Cost of the software APL-cache refill after a miss (auto-fill mode). *)
+val apl_cache_refill_cost : float
+
+(** One hardware thread's execution context. *)
+type ctx = {
+  id : int;  (** identity for synchronous-capability scoping *)
+  regs : int array;
+  cregs : Capability.t option array;
+  mutable pc : int;
+  mutable cur_tag : int;  (** domain of the current instruction *)
+  mutable cur_page : int;
+  mutable priv : bool;  (** privileged-capability bit of that page *)
+  mutable fsbase : int;  (** TLS segment base *)
+  mutable tp : int;  (** per-thread kernel struct pointer *)
+  dcs : Dcs.t;
+  mutable dcs_saved : Dcs.saved list;
+  mutable depth : int;  (** call depth (synchronous capability scope) *)
+  mutable epochs : int array;  (** frame epoch per depth *)
+  mutable cost : float;  (** accumulated simulated ns *)
+  mutable instret : int;
+  breakdown : Breakdown.t;
+  apl_cache : Apl_cache.t;
+  mutable halted : bool;
+}
+
+type t = {
+  page_table : Page_table.t;
+  apl : Apl.t;
+  mem : Memory.t;
+  revocation : Capability.Revocation.table;
+  mutable strict_apl_cache : bool;  (** fault on cache miss (real hw) *)
+  mutable on_syscall : (ctx -> int -> unit) option;
+  mutable attr_of_tag : int -> Breakdown.category;
+  mutable next_ctx_id : int;
+}
+
+exception Out_of_fuel
+
+val create : unit -> t
+
+val set_syscall_handler : t -> (ctx -> int -> unit) -> unit
+
+(** Choose the Breakdown category instruction costs are attributed to,
+    per executing domain tag. *)
+val set_attribution : t -> (int -> Breakdown.category) -> unit
+
+val new_ctx : ?dcs_capacity:int -> t -> pc:int -> sp_value:int -> ctx
+
+(** Charge [ns] attributed by the current domain / explicitly. *)
+val charge : t -> ctx -> float -> unit
+
+val charge_as : t -> ctx -> Breakdown.category -> float -> unit
+
+(** Is the capability usable by this context right now (thread, frame
+    liveness, revocation counters)? *)
+val cap_valid : t -> ctx -> Capability.t -> bool
+
+(** Check a data access (APL of the current domain, else any of the 8
+    capability registers, then the per-page protection bits); raises
+    {!Fault.Fault} on denial. *)
+val check_data : t -> ctx -> addr:int -> len:int -> perm:Perm.t -> unit
+
+(** Cross-domain control-transfer check + domain switch (Sec. 4.1): read
+    rights allow any target, call rights only aligned entry points. *)
+val check_transfer : t -> ctx -> int -> unit
+
+(** Execute one instruction. *)
+val step : t -> ctx -> [ `Halted | `Running ]
+
+(** Run until Halt; raises {!Fault.Fault} on protection violations and
+    {!Out_of_fuel} after [fuel] instructions. *)
+val run : ?fuel:int -> t -> ctx -> unit
+
+(** Kernel-privilege redirection (fault unwinding, Sec. 5.2.1): set the
+    pc and domain state without APL checks. *)
+val force_transfer : t -> ctx -> target:int -> unit
+
+(** Kernel-privilege frame drop: invalidate synchronous capabilities of
+    the dropped frames. *)
+val force_unwind_depth : ctx -> depth:int -> unit
+
+(** Host-side frame entry (the host's invocation is itself a frame). *)
+val enter_frame : ctx -> unit
+
+(** Unchecked word write/read (loader / DMA path). *)
+val poke_words : t -> addr:int -> int array -> unit
+
+val peek_word : t -> addr:int -> int

@@ -1,0 +1,55 @@
+(* Simulated physical memory.
+
+   Three stores share one address space:
+   - [words]: 8-byte data words at 8-aligned addresses (sparse);
+   - [caps]: 32-byte capability cells at 32-aligned addresses, kept apart
+     from data so capabilities cannot be forged by writing their bits —
+     the page's capability-storage bit mediates which accessor is legal;
+   - [code]: one instruction per 4-byte slot.
+
+   All protection checks happen in [Machine]; this module is the raw
+   backing store. *)
+
+type t = {
+  words : (int, int) Hashtbl.t;
+  caps : (int, Capability.t) Hashtbl.t;
+  code : (int, Isa.instr) Hashtbl.t;
+}
+
+let create () =
+  { words = Hashtbl.create 4096; caps = Hashtbl.create 64; code = Hashtbl.create 1024 }
+
+let check_word_aligned addr =
+  if addr land 7 <> 0 then invalid_arg (Printf.sprintf "unaligned word access 0x%x" addr)
+
+let load_word t addr =
+  check_word_aligned addr;
+  match Hashtbl.find_opt t.words addr with Some v -> v | None -> 0
+
+let store_word t addr v =
+  check_word_aligned addr;
+  Hashtbl.replace t.words addr v
+
+let load_cap t addr =
+  if addr land (Layout.cap_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "unaligned capability access 0x%x" addr);
+  Hashtbl.find_opt t.caps addr
+
+let store_cap t addr cap =
+  if addr land (Layout.cap_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "unaligned capability access 0x%x" addr);
+  Hashtbl.replace t.caps addr cap
+
+let fetch t addr = Hashtbl.find_opt t.code addr
+
+(* Place a straight-line instruction sequence at [addr]; returns the first
+   address past it. *)
+let place_code t ~addr instrs =
+  if addr land (Isa.instr_bytes - 1) <> 0 then
+    invalid_arg "place_code: misaligned code address";
+  List.iteri
+    (fun i instr -> Hashtbl.replace t.code (addr + (i * Isa.instr_bytes)) instr)
+    instrs;
+  addr + (List.length instrs * Isa.instr_bytes)
+
+let code_size t = Hashtbl.length t.code

@@ -1,0 +1,86 @@
+(* A functional miniature of CHERI's domain-crossing mechanism, for the
+   Table 1 comparison (Sec. 4.1 contrasts CODOMs with CHERI [64]).
+
+   CHERI crosses protection domains with sealed capability pairs: a
+   domain is represented by a code capability and a data capability
+   sealed under the same object type (otype).  CCall checks the pair,
+   unseals both into PCC (program counter capability) and IDC (invoked
+   data capability), and pushes the caller's state on a trusted stack;
+   CReturn pops it.  In the CHERI implementations the paper compares
+   against, both operations trap into a privileged exception handler —
+   which is exactly the cost CODOMs avoids (Table 1: "S: 2x exception").
+
+   This model is deliberately small: enough semantics to demonstrate and
+   test the crossing discipline, plus the modelled switch cost. *)
+
+type perm = Exec | Data
+
+type cap = {
+  c_base : int;
+  c_len : int;
+  c_perm : perm;
+  c_sealed : int option; (* object type when sealed *)
+}
+
+let cap ~base ~len ~perm = { c_base = base; c_len = len; c_perm = perm; c_sealed = None }
+
+let is_sealed c = c.c_sealed <> None
+
+(* Sealing requires authority over the otype; we model that authority as
+   a permit-seal capability covering the otype value. *)
+let seal ~authority ~otype c =
+  if otype < authority.c_base || otype >= authority.c_base + authority.c_len then
+    Error "seal: otype outside the sealing authority"
+  else if is_sealed c then Error "seal: already sealed"
+  else Ok { c with c_sealed = Some otype }
+
+type domain = { d_code : cap; d_data : cap; d_otype : int }
+
+(* Build a sealed domain descriptor pair. *)
+let make_domain ~authority ~otype ~code ~data =
+  match (seal ~authority ~otype code, seal ~authority ~otype data) with
+  | Ok c, Ok d -> Ok { d_code = c; d_data = d; d_otype = otype }
+  | Error e, _ | _, Error e -> Error e
+
+type cpu = {
+  mutable pcc : cap; (* program counter capability *)
+  mutable idc : cap; (* invoked data capability *)
+  mutable trusted_stack : (cap * cap) list;
+  mutable exceptions : int; (* every crossing traps *)
+}
+
+let cpu ~pcc ~idc = { pcc; idc; trusted_stack = []; exceptions = 0 }
+
+(* Sealed capabilities confer no memory authority until unsealed. *)
+let can_access c ~addr =
+  (not (is_sealed c)) && addr >= c.c_base && addr < c.c_base + c.c_len
+
+(* CCall: checked unsealing + trusted-stack push, via an exception. *)
+let ccall cpu domain =
+  cpu.exceptions <- cpu.exceptions + 1;
+  match (domain.d_code.c_sealed, domain.d_data.c_sealed) with
+  | Some a, Some b when a = b && a = domain.d_otype ->
+      if domain.d_code.c_perm <> Exec then Error "ccall: code capability not executable"
+      else begin
+        cpu.trusted_stack <- (cpu.pcc, cpu.idc) :: cpu.trusted_stack;
+        cpu.pcc <- { domain.d_code with c_sealed = None };
+        cpu.idc <- { domain.d_data with c_sealed = None };
+        Ok ()
+      end
+  | _ -> Error "ccall: otype mismatch or unsealed operand"
+
+(* CReturn: pop the trusted stack, again via an exception. *)
+let creturn cpu =
+  cpu.exceptions <- cpu.exceptions + 1;
+  match cpu.trusted_stack with
+  | (pcc, idc) :: rest ->
+      cpu.pcc <- pcc;
+      cpu.idc <- idc;
+      cpu.trusted_stack <- rest;
+      Ok ()
+  | [] -> Error "creturn: trusted stack empty"
+
+(* Modelled cost of one crossing (exception entry + handler + return). *)
+let crossing_cost_ns = 400.0
+
+let round_trip_cost_ns = 2. *. crossing_cost_ns

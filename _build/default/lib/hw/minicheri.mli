@@ -1,0 +1,40 @@
+(** Functional miniature of CHERI's domain crossing (the Table 1
+    comparison point): sealed capability pairs, CCall/CReturn through
+    exceptions, and a trusted stack. *)
+
+type perm = Exec | Data
+
+type cap = { c_base : int; c_len : int; c_perm : perm; c_sealed : int option }
+
+val cap : base:int -> len:int -> perm:perm -> cap
+
+val is_sealed : cap -> bool
+
+(** Seal under [otype]; the authority capability must cover the otype. *)
+val seal : authority:cap -> otype:int -> cap -> (cap, string) result
+
+type domain = { d_code : cap; d_data : cap; d_otype : int }
+
+val make_domain :
+  authority:cap -> otype:int -> code:cap -> data:cap -> (domain, string) result
+
+type cpu = {
+  mutable pcc : cap;
+  mutable idc : cap;
+  mutable trusted_stack : (cap * cap) list;
+  mutable exceptions : int;  (** every crossing traps *)
+}
+
+val cpu : pcc:cap -> idc:cap -> cpu
+
+(** Sealed capabilities confer no memory authority. *)
+val can_access : cap -> addr:int -> bool
+
+(** CCall: checked unsealing + trusted-stack push, via an exception. *)
+val ccall : cpu -> domain -> (unit, string) result
+
+val creturn : cpu -> (unit, string) result
+
+val crossing_cost_ns : float
+
+val round_trip_cost_ns : float

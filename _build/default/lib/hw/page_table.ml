@@ -1,0 +1,78 @@
+(* Tagged page table (Sec. 4.1).
+
+   CODOMs extends a conventional page table with a per-page domain tag, a
+   privileged-capability bit (code allowed to execute privileged
+   instructions without a mode switch) and a capability-storage bit (pages
+   that may hold capabilities, accessed only through capability load/store
+   instructions). *)
+
+type page = {
+  mutable tag : int;
+  mutable readable : bool;
+  mutable writable : bool;
+  mutable executable : bool;
+  mutable priv_cap : bool; (* privileged capability bit (Sec. 4.1) *)
+  mutable cap_store : bool; (* capability storage bit (Sec. 4.2) *)
+}
+
+type t = { pages : (int, page) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let find t addr = Hashtbl.find_opt t.pages (Layout.page_of addr)
+
+let find_exn t ~pc addr =
+  match find t addr with
+  | Some p -> p
+  | None -> Fault.raise_fault ~pc ~addr Fault.Unmapped
+
+let is_mapped t addr = Hashtbl.mem t.pages (Layout.page_of addr)
+
+(* Map [count] pages starting at the page containing [addr]. *)
+let map t ~addr ~count ~tag ?(readable = true) ?(writable = true)
+    ?(executable = false) ?(priv_cap = false) ?(cap_store = false) () =
+  let first = Layout.page_of addr in
+  for i = first to first + count - 1 do
+    if Hashtbl.mem t.pages i then
+      invalid_arg (Printf.sprintf "Page_table.map: page %d already mapped" i);
+    Hashtbl.replace t.pages i
+      { tag; readable; writable; executable; priv_cap; cap_store }
+  done
+
+let unmap t ~addr ~count =
+  let first = Layout.page_of addr in
+  for i = first to first + count - 1 do
+    Hashtbl.remove t.pages i
+  done
+
+(* Reassign selected pages from one domain tag to another (dom_remap of
+   Table 2).  Fails if any page is missing or not owned by [from_tag]. *)
+let retag t ~addr ~count ~from_tag ~to_tag =
+  let first = Layout.page_of addr in
+  for i = first to first + count - 1 do
+    match Hashtbl.find_opt t.pages i with
+    | None -> invalid_arg "Page_table.retag: unmapped page"
+    | Some p ->
+        if p.tag <> from_tag then
+          invalid_arg "Page_table.retag: page not in source domain"
+  done;
+  for i = first to first + count - 1 do
+    (Hashtbl.find t.pages i).tag <- to_tag
+  done
+
+let set_protection t ~addr ~count ?readable ?writable ?executable () =
+  let first = Layout.page_of addr in
+  for i = first to first + count - 1 do
+    match Hashtbl.find_opt t.pages i with
+    | None -> invalid_arg "Page_table.set_protection: unmapped page"
+    | Some p ->
+        Option.iter (fun v -> p.readable <- v) readable;
+        Option.iter (fun v -> p.writable <- v) writable;
+        Option.iter (fun v -> p.executable <- v) executable
+  done
+
+let mapped_page_count t = Hashtbl.length t.pages
+
+(* Pages belonging to a tag; used by dIPC domain teardown. *)
+let pages_of_tag t tag =
+  Hashtbl.fold (fun pn p acc -> if p.tag = tag then pn :: acc else acc) t.pages []

@@ -1,0 +1,23 @@
+(** APL and capability permissions (paper Sec. 4.1): the ordered set
+    nil < call < read < write < owner of Table 2.  [Owner] exists only in
+    software handles; hardware APLs store at most [Write]. *)
+
+type t = Nil | Call | Read | Write | Owner
+
+val rank : t -> int
+
+(** [includes granted needed]: does holding [granted] satisfy a check for
+    [needed]?  Read implies call-into-arbitrary-addresses; write implies
+    read. *)
+val includes : t -> t -> bool
+
+val min : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** Hardware image of a software permission: owner becomes write. *)
+val to_hardware : t -> t
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ipc/l4_ipc.ml: Dipc_kernel Dipc_sim

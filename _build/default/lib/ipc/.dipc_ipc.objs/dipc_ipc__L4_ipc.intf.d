@@ -1,0 +1,1 @@
+lib/ipc/l4_ipc.mli: Dipc_kernel

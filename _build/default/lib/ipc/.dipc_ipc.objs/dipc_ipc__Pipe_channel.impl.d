@@ -1,0 +1,1 @@
+lib/ipc/pipe_channel.ml: Dipc_kernel Dipc_sim

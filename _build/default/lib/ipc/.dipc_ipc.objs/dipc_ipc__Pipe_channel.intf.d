@@ -1,0 +1,1 @@
+lib/ipc/pipe_channel.mli: Dipc_kernel

@@ -1,0 +1,1 @@
+lib/ipc/rpc.ml: Dipc_kernel Dipc_sim String Xdr

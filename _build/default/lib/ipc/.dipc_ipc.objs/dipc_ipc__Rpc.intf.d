@@ -1,0 +1,1 @@
+lib/ipc/rpc.mli: Dipc_kernel

@@ -1,0 +1,1 @@
+lib/ipc/sem_channel.ml: Dipc_kernel Dipc_sim

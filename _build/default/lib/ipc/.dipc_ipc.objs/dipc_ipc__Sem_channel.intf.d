@@ -1,0 +1,1 @@
+lib/ipc/sem_channel.mli: Dipc_kernel

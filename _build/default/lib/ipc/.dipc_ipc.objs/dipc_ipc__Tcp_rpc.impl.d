@@ -1,0 +1,1 @@
+lib/ipc/tcp_rpc.ml: Dipc_kernel Dipc_sim Rpc String Xdr

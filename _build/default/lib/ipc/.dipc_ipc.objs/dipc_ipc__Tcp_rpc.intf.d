@@ -1,0 +1,1 @@
+lib/ipc/tcp_rpc.mli: Dipc_kernel

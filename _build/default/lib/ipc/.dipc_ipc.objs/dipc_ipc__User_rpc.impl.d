@@ -1,0 +1,1 @@
+lib/ipc/user_rpc.ml: Dipc_kernel Dipc_sim Sem_channel

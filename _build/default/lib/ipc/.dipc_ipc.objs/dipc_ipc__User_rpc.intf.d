@@ -1,0 +1,1 @@
+lib/ipc/user_rpc.mli: Dipc_kernel

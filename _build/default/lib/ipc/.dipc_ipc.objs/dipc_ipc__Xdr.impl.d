@@ -1,0 +1,1 @@
+lib/ipc/xdr.ml: Buffer Dipc_sim Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/ipc/xdr.mli:

@@ -1,0 +1,80 @@
+(* L4 Fiasco.OC-style synchronous IPC (Sec. 2.2).
+
+   One syscall performs send+receive; the payload travels inlined in
+   registers (no memory copies for small messages) and the kernel switches
+   directly to the partner thread instead of going through the general
+   scheduler path — which is why L4 "successfully minimizes the kernel
+   software overheads" yet remains 474x slower than a function call. *)
+
+module Breakdown = Dipc_sim.Breakdown
+module Costs = Dipc_sim.Costs
+module Memcost = Dipc_sim.Memcost
+module Kernel = Dipc_kernel.Kernel
+
+(* Kernel path of one message beyond entry/exit: rendezvous bookkeeping,
+   capability/right checks, direct switch preparation. *)
+let per_message_kernel = 180.0
+
+(* Registers carry up to this much payload; the rest goes through a
+   (bounced) buffer copy. *)
+let register_payload = 64
+
+type t = {
+  kern : Kernel.t;
+  mutable server_waiting : bool;
+  server_q : int Kernel.Sleepq.q; (* server waits for request size *)
+  client_q : unit Kernel.Sleepq.q; (* client waits for the reply *)
+  mutable pending : int option; (* request posted before server was ready *)
+}
+
+let create kern =
+  {
+    kern;
+    server_waiting = false;
+    server_q = Kernel.Sleepq.create ();
+    client_q = Kernel.Sleepq.create ();
+    pending = None;
+  }
+
+let charge_payload t th bytes =
+  if bytes > register_payload then
+    Kernel.consume t.kern th Breakdown.Kernel
+      (Memcost.kernel_copy (bytes - register_payload))
+
+(* ipc_call: send the request and block for the reply, one syscall. *)
+let call t th ~bytes =
+  Kernel.syscall_overhead t.kern th;
+  Kernel.consume t.kern th Breakdown.Kernel per_message_kernel;
+  charge_payload t th bytes;
+  if t.server_waiting then begin
+    t.server_waiting <- false;
+    ignore (Kernel.wake_one t.kern ~waker:th t.server_q bytes)
+  end
+  else t.pending <- Some bytes;
+  Kernel.block_on t.kern th t.client_q
+
+(* ipc_reply_and_wait: answer the previous caller and wait for the next
+   request; returns its size. *)
+let reply_and_wait t th =
+  Kernel.syscall_overhead t.kern th;
+  Kernel.consume t.kern th Breakdown.Kernel per_message_kernel;
+  ignore (Kernel.wake_one t.kern ~waker:th t.client_q ());
+  match t.pending with
+  | Some bytes ->
+      t.pending <- None;
+      bytes
+  | None ->
+      t.server_waiting <- true;
+      Kernel.block_on t.kern th t.server_q
+
+(* ipc_wait: initial server wait (no one to reply to yet). *)
+let wait t th =
+  Kernel.syscall_overhead t.kern th;
+  Kernel.consume t.kern th Breakdown.Kernel per_message_kernel;
+  match t.pending with
+  | Some bytes ->
+      t.pending <- None;
+      bytes
+  | None ->
+      t.server_waiting <- true;
+      Kernel.block_on t.kern th t.server_q

@@ -1,0 +1,30 @@
+(* Request/response over a pair of POSIX pipes: the data pays two kernel
+   copies in each direction (argument immutability enforced by copying,
+   Sec. 2.2). *)
+
+module Breakdown = Dipc_sim.Breakdown
+module Memcost = Dipc_sim.Memcost
+module Kernel = Dipc_kernel.Kernel
+module Pipe = Dipc_kernel.Pipe
+
+type t = { kern : Kernel.t; to_server : Pipe.t; to_client : Pipe.t }
+
+let create kern =
+  { kern; to_server = Pipe.create kern; to_client = Pipe.create kern }
+
+(* Client side of one synchronous call with [bytes] of argument; the reply
+   is a one-byte acknowledgement. *)
+let call t th ~bytes =
+  (* Produce the argument, then hand it to the kernel. *)
+  Kernel.consume t.kern th Breakdown.User_code (Memcost.write_buffer bytes);
+  Pipe.write t.to_server th ~bytes;
+  Pipe.read t.to_client th ~bytes:1
+
+(* Server side: receive a request of known size, handle it, acknowledge.
+   (Real servers learn the size from a header; the bench protocol fixes it
+   per experiment.) *)
+let serve t th ~bytes handler =
+  Pipe.read t.to_server th ~bytes;
+  Kernel.consume t.kern th Breakdown.User_code (Memcost.read_buffer bytes);
+  handler bytes;
+  Pipe.write t.to_client th ~bytes:1

@@ -1,0 +1,14 @@
+(** Request/response over a pair of POSIX pipes: two kernel copies per
+    direction (Sec. 2.2). *)
+
+module Kernel = Dipc_kernel.Kernel
+
+type t
+
+val create : Kernel.t -> t
+
+(** Client: send [bytes], await a one-byte acknowledgement. *)
+val call : t -> Kernel.thread -> bytes:int -> unit
+
+(** Server: receive a request of known size, handle, acknowledge. *)
+val serve : t -> Kernel.thread -> bytes:int -> (int -> unit) -> unit

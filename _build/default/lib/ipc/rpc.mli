@@ -1,0 +1,17 @@
+(** Local RPC in the style of glibc's rpcgen over UNIX sockets
+    (Sec. 2.2): XDR marshalling, socket transport, procedure-number
+    demultiplexing — the primitive dIPC is 64x faster than. *)
+
+module Kernel = Dipc_kernel.Kernel
+
+type request = { proc_num : int; arg : string }
+
+type t
+
+val create : Kernel.t -> t
+
+(** Client stub: marshal, send, await and demarshal the reply. *)
+val call : t -> Kernel.thread -> proc_num:int -> arg:string -> string
+
+(** Server: receive one request, dispatch it, reply. *)
+val serve_one : t -> Kernel.thread -> (proc_num:int -> arg:string -> string) -> unit

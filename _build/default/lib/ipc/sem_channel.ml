@@ -1,0 +1,62 @@
+(* "Sem.": POSIX semaphores (futex-based) communicating through a
+   pre-shared buffer (Sec. 2.2).
+
+   A synchronous request/response channel: the client writes the argument
+   into the shared buffer, posts the request semaphore and waits on the
+   response one; the server mirrors that.  There are no kernel copies —
+   but the application itself must populate and read the shared buffer,
+   and both sides pay the futex syscalls and the context switches. *)
+
+module Breakdown = Dipc_sim.Breakdown
+module Costs = Dipc_sim.Costs
+module Memcost = Dipc_sim.Memcost
+module Futex = Dipc_kernel.Futex
+module Kernel = Dipc_kernel.Kernel
+
+type sem = { futex : Futex.t; count : int ref }
+
+let sem_create kern =
+  let count = ref 0 in
+  { futex = Futex.create kern ~value:count; count }
+
+(* sem_post: user-space atomic, futex wake only if someone may sleep. *)
+let sem_post t th sem =
+  Kernel.consume t th Breakdown.User_code Costs.futex_user_fastpath;
+  incr sem.count;
+  if Futex.waiters sem.futex > 0 || !(sem.count) <= 1 then
+    ignore (Futex.wake sem.futex th ~n:1)
+
+(* sem_wait: user-space atomic fast path, futex wait loop otherwise. *)
+let sem_wait t th sem =
+  Kernel.consume t th Breakdown.User_code Costs.futex_user_fastpath;
+  while !(sem.count) <= 0 do
+    Futex.wait sem.futex th ~expected:0
+  done;
+  decr sem.count
+
+type t = {
+  kern : Kernel.t;
+  req : sem;
+  resp : sem;
+  mutable request_bytes : int; (* size currently in the shared buffer *)
+}
+
+let create kern =
+  { kern; req = sem_create kern; resp = sem_create kern; request_bytes = 0 }
+
+(* Client side of one synchronous call with [bytes] of argument. *)
+let call t th ~bytes =
+  (* Populate the shared buffer (the copy the programmer cannot avoid). *)
+  Kernel.consume t.kern th Breakdown.User_code (Memcost.write_buffer bytes);
+  t.request_bytes <- bytes;
+  sem_post t.kern th t.req;
+  sem_wait t.kern th t.resp
+
+(* Server side: wait for a request, run [handler bytes], respond. *)
+let serve t th handler =
+  sem_wait t.kern th t.req;
+  let bytes = t.request_bytes in
+  (* Consume the argument from the shared buffer. *)
+  Kernel.consume t.kern th Breakdown.User_code (Memcost.read_buffer bytes);
+  handler bytes;
+  sem_post t.kern th t.resp

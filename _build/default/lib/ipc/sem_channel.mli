@@ -1,0 +1,30 @@
+(** "Sem.": POSIX semaphores (futex-based) communicating through a
+    pre-shared buffer (Sec. 2.2) — a synchronous request/response channel
+    with no kernel copies, but futex syscalls and context switches on the
+    rendezvous. *)
+
+module Kernel = Dipc_kernel.Kernel
+
+(** A counting semaphore: user-space fast path plus a futex. *)
+type sem = { futex : Dipc_kernel.Futex.t; count : int ref }
+
+val sem_create : Kernel.t -> sem
+
+val sem_post : Kernel.t -> Kernel.thread -> sem -> unit
+
+val sem_wait : Kernel.t -> Kernel.thread -> sem -> unit
+
+type t = {
+  kern : Kernel.t;
+  req : sem;
+  resp : sem;
+  mutable request_bytes : int;  (** size currently in the shared buffer *)
+}
+
+val create : Kernel.t -> t
+
+(** Client: populate the shared buffer with [bytes], post, await reply. *)
+val call : t -> Kernel.thread -> bytes:int -> unit
+
+(** Server: await a request, consume it, run the handler, reply. *)
+val serve : t -> Kernel.thread -> (int -> unit) -> unit

@@ -1,0 +1,18 @@
+(** "dIPC - User RPC" (Sec. 7.2): cross-CPU RPC semantics implemented
+    almost entirely at user level on a dIPC shared address space — the
+    server thread copies arguments in user space, and the OS is only used
+    to synchronise threads of one process. *)
+
+module Kernel = Dipc_kernel.Kernel
+
+type t
+
+val create : Kernel.t -> t
+
+(** Client: publish [bytes] by reference and wait for the service
+    thread. *)
+val call : t -> Kernel.thread -> bytes:int -> unit
+
+(** Server: take a private user-level copy of the arguments, handle,
+    reply. *)
+val serve : t -> Kernel.thread -> (int -> unit) -> unit

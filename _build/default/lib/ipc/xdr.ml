@@ -1,0 +1,77 @@
+(* XDR-style marshalling codec, in the spirit of glibc's rpcgen output.
+
+   This is a real codec (it round-trips values through bytes); local RPC
+   uses it so the (de)marshalling work that Figure 2 charges to "user code"
+   corresponds to code that actually runs. *)
+
+type encoder = { buf : Buffer.t; mutable fields : int }
+
+let encoder () = { buf = Buffer.create 64; fields = 0 }
+
+let pad4 n = (4 - (n land 3)) land 3
+
+let enc_int e v =
+  e.fields <- e.fields + 1;
+  Buffer.add_int64_be e.buf (Int64.of_int v)
+
+let enc_bool e v = enc_int e (if v then 1 else 0)
+
+let enc_opaque e s =
+  e.fields <- e.fields + 1;
+  Buffer.add_int32_be e.buf (Int32.of_int (String.length s));
+  Buffer.add_string e.buf s;
+  for _ = 1 to pad4 (String.length s) do
+    Buffer.add_char e.buf '\000'
+  done
+
+let enc_string = enc_opaque
+
+let enc_list e f items =
+  enc_int e (List.length items);
+  List.iter (f e) items
+
+let to_string e = Buffer.contents e.buf
+
+let encoded_fields e = e.fields
+
+type decoder = { data : string; mutable pos : int; mutable dfields : int }
+
+exception Decode_error of string
+
+let decoder data = { data; pos = 0; dfields = 0 }
+
+let need d n =
+  if d.pos + n > String.length d.data then raise (Decode_error "short buffer")
+
+let dec_int d =
+  need d 8;
+  d.dfields <- d.dfields + 1;
+  let v = String.get_int64_be d.data d.pos in
+  d.pos <- d.pos + 8;
+  Int64.to_int v
+
+let dec_bool d = dec_int d <> 0
+
+let dec_opaque d =
+  need d 4;
+  d.dfields <- d.dfields + 1;
+  let len = Int32.to_int (String.get_int32_be d.data d.pos) in
+  d.pos <- d.pos + 4;
+  need d len;
+  let s = String.sub d.data d.pos len in
+  d.pos <- d.pos + len + pad4 len;
+  s
+
+let dec_string = dec_opaque
+
+let dec_list d f =
+  let n = dec_int d in
+  if n < 0 || n > 1_000_000 then raise (Decode_error "bad list length");
+  List.init n (fun _ -> f d)
+
+let decoded_fields d = d.dfields
+
+(* Modelled cost of the marshalling pass itself: per-field work plus the
+   streaming copy of the payload. *)
+let marshal_cost ~fields ~bytes =
+  (float_of_int fields *. 15.0) +. Dipc_sim.Memcost.user_copy bytes

@@ -1,0 +1,44 @@
+(** XDR-style marshalling codec in the spirit of glibc's rpcgen output;
+    local RPC runs it for real so the (de)marshalling user time of
+    Figure 2 corresponds to executed code. *)
+
+type encoder
+
+val encoder : unit -> encoder
+
+val enc_int : encoder -> int -> unit
+
+val enc_bool : encoder -> bool -> unit
+
+(** Length-prefixed bytes, padded to 4-byte multiples like real XDR. *)
+val enc_opaque : encoder -> string -> unit
+
+val enc_string : encoder -> string -> unit
+
+val enc_list : encoder -> (encoder -> 'a -> unit) -> 'a list -> unit
+
+val to_string : encoder -> string
+
+val encoded_fields : encoder -> int
+
+type decoder
+
+exception Decode_error of string
+
+val decoder : string -> decoder
+
+val dec_int : decoder -> int
+
+val dec_bool : decoder -> bool
+
+val dec_opaque : decoder -> string
+
+val dec_string : decoder -> string
+
+val dec_list : decoder -> (decoder -> 'a) -> 'a list
+
+val decoded_fields : decoder -> int
+
+(** Modelled cost of a marshalling pass: per-field work plus the
+    streaming copy of the payload. *)
+val marshal_cost : fields:int -> bytes:int -> float

@@ -1,0 +1,1 @@
+lib/kernel/futex.ml: Dipc_sim Kernel

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Dipc_sim Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Dipc_sim

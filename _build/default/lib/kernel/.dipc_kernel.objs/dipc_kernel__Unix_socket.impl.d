@@ -1,0 +1,1 @@
+lib/kernel/unix_socket.ml: Dipc_sim Kernel Queue

@@ -1,0 +1,1 @@
+lib/kernel/unix_socket.mli: Kernel

@@ -1,0 +1,19 @@
+(** Futex: the kernel half of POSIX semaphores/mutexes (Sec. 2.2's "Sem."
+    primitive).  Callers charge the user-space fast path; this module
+    charges the syscall and kernel queue work. *)
+
+
+type t
+
+(** [value] is the user-space futex word. *)
+val create : Kernel.t -> value:int ref -> t
+
+val word : t -> int ref
+
+(** FUTEX_WAIT: sleep if the word still holds [expected]. *)
+val wait : t -> Kernel.thread -> expected:int -> unit
+
+(** FUTEX_WAKE: wake up to [n] sleepers; returns how many woke. *)
+val wake : t -> Kernel.thread -> n:int -> int
+
+val waiters : t -> int

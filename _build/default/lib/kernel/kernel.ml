@@ -1,0 +1,415 @@
+(* Discrete-event model of a small multiprocessor OS kernel.
+
+   Threads are simulated-time coroutines (Dipc_sim.Engine).  Each CPU is a
+   token: a thread must hold its CPU to consume time, releases it when it
+   blocks, and the per-CPU run queue plus wake-time CPU selection reproduce
+   the scheduling behaviour the paper measures — context-switch and
+   page-table-switch costs, IPIs for cross-CPU wakeups, idle-loop entry and
+   exit, and scheduler imbalance under high thread counts (Sec. 2.2, 7.4).
+
+   Every nanosecond consumed is attributed to one of the Figure 2 cost
+   blocks, per thread and per CPU, so benchmarks can print the same
+   breakdowns the paper does. *)
+
+module Engine = Dipc_sim.Engine
+module Breakdown = Dipc_sim.Breakdown
+module Costs = Dipc_sim.Costs
+
+type process = {
+  pid : int;
+  pname : string;
+  mutable aspace : int; (* address-space id; shared for dIPC processes *)
+  mutable dipc_enabled : bool;
+  fds : (int, string) Hashtbl.t;
+  mutable next_fd : int;
+  mutable alive : bool;
+}
+
+type thread = {
+  tid : int;
+  proc : process;
+  tname : string;
+  mutable cpu : int;
+  pinned : bool;
+  bd : Breakdown.t; (* per-thread cost attribution *)
+  mutable state : [ `New | `Ready | `Running | `Blocked | `Done ];
+  mutable wake_ipi : bool; (* an IPI was sent to wake us *)
+  mutable voluntary_switches : int;
+}
+
+type cpu = {
+  cpu_id : int;
+  mutable running : thread option;
+  runq : thread Queue.t;
+  mutable parked : (int, unit Engine.waker) Hashtbl.t; (* tid -> waker *)
+  mutable idle_since : float option;
+  mutable idle_total : float;
+  mutable busy_total : float;
+  mutable last_tid : int;
+  mutable last_aspace : int;
+  cpu_bd : Breakdown.t;
+}
+
+type t = {
+  engine : Engine.t;
+  cpus : cpu array;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable next_aspace : int;
+  quantum : float; (* preemption granularity for CPU-bound threads, ns *)
+  mutable wake_policy : [ `Affinity | `Least_loaded ];
+      (* Where an unpinned thread wakes up: its last CPU (cache affinity,
+         like CFS without active balancing — the source of the scheduler
+         imbalance Sec. 7.4 describes) or the least-loaded CPU. *)
+}
+
+let create engine ~ncpus =
+  let cpus =
+    Array.init ncpus (fun i ->
+        {
+          cpu_id = i;
+          running = None;
+          runq = Queue.create ();
+          parked = Hashtbl.create 16;
+          idle_since = Some 0.;
+          idle_total = 0.;
+          busy_total = 0.;
+          last_tid = -1;
+          last_aspace = -1;
+          cpu_bd = Breakdown.create ();
+        })
+  in
+  {
+    engine;
+    cpus;
+    next_pid = 1;
+    next_tid = 1;
+    next_aspace = 1;
+    quantum = 100_000.;
+    wake_policy = `Affinity;
+  }
+
+let engine t = t.engine
+
+let ncpus t = Array.length t.cpus
+
+let now t = Engine.now t.engine
+
+(* --- processes --- *)
+
+let create_process t ~name =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let aspace = t.next_aspace in
+  t.next_aspace <- t.next_aspace + 1;
+  {
+    pid;
+    pname = name;
+    aspace;
+    dipc_enabled = false;
+    fds = Hashtbl.create 8;
+    next_fd = 3;
+    alive = true;
+  }
+
+(* Join processes into one shared address space (dIPC's shared page table,
+   Sec. 6.1.3). *)
+let share_address_space ~target ~with_ =
+  target.aspace <- with_.aspace;
+  target.dipc_enabled <- true;
+  with_.dipc_enabled <- true
+
+let alloc_fd proc label =
+  let fd = proc.next_fd in
+  proc.next_fd <- proc.next_fd + 1;
+  Hashtbl.replace proc.fds fd label;
+  fd
+
+(* --- cost accounting --- *)
+
+let charge t th category ns =
+  Breakdown.charge th.bd category ns;
+  Breakdown.charge t.cpus.(th.cpu).cpu_bd category ns
+
+(* --- CPU token management --- *)
+
+(* Stop idle accounting; returns how long the CPU idled. *)
+let end_idle t cpu =
+  match cpu.idle_since with
+  | Some since ->
+      let d = now t -. since in
+      cpu.idle_total <- cpu.idle_total +. d;
+      Breakdown.charge cpu.cpu_bd Breakdown.Idle d;
+      cpu.idle_since <- None;
+      d
+  | None -> 0.
+
+(* The idle loop only reaches a deep C-state after sitting idle for a
+   while; a same-instant hand-off pays nothing, a short nap pays a shallow
+   halt exit. *)
+let idle_exit_cost idled =
+  if idled <= 0. then 0.
+  else if idled < 600. then 100. +. Costs.context_switch
+  else Costs.idle_wakeup +. Costs.context_switch
+
+(* Costs of switching this CPU to [th]; charged to the incoming thread. *)
+let switch_in t th ~idled =
+  let cpu = t.cpus.(th.cpu) in
+  let costs = ref 0. in
+  let idle_cost = idle_exit_cost idled in
+  if idle_cost > 0. then begin
+    charge t th Breakdown.Schedule idle_cost;
+    costs := !costs +. idle_cost
+  end;
+  if cpu.last_tid <> th.tid && cpu.last_tid <> -1 then begin
+    charge t th Breakdown.Schedule Costs.context_switch;
+    costs := !costs +. Costs.context_switch
+  end;
+  if cpu.last_aspace <> th.proc.aspace && cpu.last_aspace <> -1 then begin
+    charge t th Breakdown.Page_table Costs.page_table_switch;
+    costs := !costs +. Costs.page_table_switch
+  end;
+  cpu.last_tid <- th.tid;
+  cpu.last_aspace <- th.proc.aspace;
+  if th.wake_ipi then begin
+    th.wake_ipi <- false;
+    charge t th Breakdown.Kernel Costs.ipi_handle;
+    costs := !costs +. Costs.ipi_handle
+  end;
+  if !costs > 0. then Engine.delay !costs
+
+(* Acquire the thread's CPU, waiting on its run queue if busy. *)
+let acquire t th =
+  let cpu = t.cpus.(th.cpu) in
+  match cpu.running with
+  | None ->
+      let idled = end_idle t cpu in
+      cpu.running <- Some th;
+      th.state <- `Running;
+      switch_in t th ~idled
+  | Some _ ->
+      th.state <- `Ready;
+      Engine.suspend (fun waker ->
+          Hashtbl.replace cpu.parked th.tid waker;
+          Queue.add th cpu.runq);
+      (* release/hand-off set [running] to us before resuming. *)
+      Hashtbl.remove cpu.parked th.tid;
+      th.state <- `Running;
+      switch_in t th ~idled:0.
+
+(* Release the CPU, handing it to the next ready thread if any. *)
+let release t th =
+  let cpu = t.cpus.(th.cpu) in
+  (match cpu.running with
+  | Some r when r.tid = th.tid -> ()
+  | _ -> invalid_arg "Kernel.release: thread does not hold its CPU");
+  cpu.running <- None;
+  match Queue.take_opt cpu.runq with
+  | Some next ->
+      cpu.running <- Some next;
+      let waker = Hashtbl.find cpu.parked next.tid in
+      Engine.resume waker ()
+  | None -> cpu.idle_since <- Some (now t)
+
+(* Consume CPU time, attributed to [category].  Long stretches are chopped
+   into scheduler quanta so ready threads on the same CPU make progress
+   (approximating timer preemption). *)
+let consume t th category ns =
+  let cpu () = t.cpus.(th.cpu) in
+  let remaining = ref ns in
+  while !remaining > 0. do
+    let chunk = if !remaining > t.quantum then t.quantum else !remaining in
+    charge t th category chunk;
+    (cpu ()).busy_total <- (cpu ()).busy_total +. chunk;
+    Engine.delay chunk;
+    remaining := !remaining -. chunk;
+    if !remaining > 0. && not (Queue.is_empty (cpu ()).runq) then begin
+      (* Preempted: round-robin to the back of the queue. *)
+      charge t th Breakdown.Schedule Costs.context_switch;
+      release t th;
+      acquire t th
+    end
+  done
+
+(* Charge the syscall entry/exit + dispatch trampoline (Figure 2 blocks 2
+   and 3). *)
+let syscall_overhead t th =
+  consume t th Breakdown.Syscall_entry Costs.syscall_entry_exit;
+  consume t th Breakdown.Dispatch Costs.syscall_dispatch
+
+(* --- sleep queues: blocking with scheduler integration --- *)
+
+module Sleepq = struct
+  type 'a entry = { sleeper : thread; waker : 'a Engine.waker }
+
+  type 'a q = { entries : 'a entry Queue.t }
+
+  let create () = { entries = Queue.create () }
+
+  let length q = Queue.length q.entries
+
+  let is_empty q = Queue.is_empty q.entries
+end
+
+(* Pick a CPU for an unpinned thread waking up: its last CPU if idle, else
+   any idle CPU, else the least loaded one. *)
+let choose_cpu t th =
+  match t.wake_policy with
+  | `Affinity -> th.cpu
+  | `Least_loaded ->
+      let load c =
+        Queue.length c.runq + (match c.running with Some _ -> 1 | None -> 0)
+      in
+      if t.cpus.(th.cpu).idle_since <> None then th.cpu
+      else begin
+        let best = ref th.cpu and best_load = ref (load t.cpus.(th.cpu)) in
+        Array.iter
+          (fun c ->
+            let l = load c in
+            if l < !best_load then begin
+              best := c.cpu_id;
+              best_load := l
+            end)
+          t.cpus;
+        !best
+      end
+
+(* Block the calling thread on [q]; returns the value passed by the waker. *)
+let block_on t th (q : 'a Sleepq.q) : 'a =
+  release t th;
+  th.state <- `Blocked;
+  let v =
+    Engine.suspend (fun waker -> Queue.add { Sleepq.sleeper = th; waker } q.entries)
+  in
+  acquire t th;
+  v
+
+(* Wake one sleeper; performed by [waker_th] (which holds a CPU).  Models
+   target-CPU selection and the IPI when the target CPU differs and sits
+   idle (Sec. 2.2: "going across CPUs ... dominated by the costs of
+   IPIs"). *)
+let wake_one t ~waker:waker_th (q : 'a Sleepq.q) (v : 'a) =
+  match Queue.take_opt q.Sleepq.entries with
+  | None -> false
+  | Some { Sleepq.sleeper; waker } ->
+      if not sleeper.pinned then sleeper.cpu <- choose_cpu t sleeper;
+      if sleeper.cpu <> waker_th.cpu then begin
+        charge t waker_th Breakdown.Kernel Costs.ipi_send;
+        Engine.delay Costs.ipi_send;
+        sleeper.wake_ipi <- true
+      end;
+      sleeper.state <- `Ready;
+      Engine.resume waker v;
+      true
+
+let wake_all t ~waker q v =
+  let n = ref 0 in
+  while wake_one t ~waker q v do
+    incr n
+  done;
+  !n
+
+(* Release the CPU and suspend on an externally-resumed waker (device
+   queues); reacquires a CPU once resumed. *)
+let suspend_on t th register =
+  release t th;
+  th.state <- `Blocked;
+  let v = Engine.suspend register in
+  th.state <- `Ready;
+  if not th.pinned then th.cpu <- choose_cpu t th;
+  acquire t th;
+  v
+
+(* Blocking wait for a wall-clock duration (disk, NIC, timer): the CPU is
+   released, so it idles or runs other work. *)
+let io_wait t th ns =
+  release t th;
+  th.state <- `Blocked;
+  Engine.delay ns;
+  th.state <- `Ready;
+  acquire t th
+
+(* Yield the CPU voluntarily. *)
+let yield t th =
+  th.voluntary_switches <- th.voluntary_switches + 1;
+  if not (Queue.is_empty t.cpus.(th.cpu).runq) then begin
+    charge t th Breakdown.Schedule Costs.context_switch;
+    release t th;
+    acquire t th
+  end
+
+(* --- thread creation --- *)
+
+let spawn ?(cpu = -1) ?(at = None) t proc ~name body =
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  let pinned = cpu >= 0 in
+  let th =
+    {
+      tid;
+      proc;
+      tname = name;
+      cpu = (if pinned then cpu else 0);
+      pinned;
+      bd = Breakdown.create ();
+      state = `New;
+      wake_ipi = false;
+      voluntary_switches = 0;
+    }
+  in
+  let wrapped () =
+    (* Initial placement always spreads (fork balancing); only wakeups
+       follow the wake policy. *)
+    if not th.pinned then begin
+      let load c =
+        Queue.length c.runq + (match c.running with Some _ -> 1 | None -> 0)
+      in
+      let best = ref 0 in
+      Array.iter
+        (fun c -> if load c < load t.cpus.(!best) then best := c.cpu_id)
+        t.cpus;
+      th.cpu <- !best
+    end;
+    acquire t th;
+    (try body th
+     with exn ->
+       th.state <- `Done;
+       release t th;
+       raise exn);
+    th.state <- `Done;
+    release t th
+  in
+  (match at with
+  | None -> Engine.spawn t.engine wrapped
+  | Some at -> Engine.spawn ~at t.engine wrapped);
+  th
+
+(* --- statistics --- *)
+
+let cpu_breakdown t i = t.cpus.(i).cpu_bd
+
+let cpu_idle_total t i = t.cpus.(i).idle_total
+
+let reset_stats t =
+  Array.iter
+    (fun c ->
+      Breakdown.clear c.cpu_bd;
+      c.idle_total <- 0.;
+      c.busy_total <- 0.;
+      if c.idle_since <> None then c.idle_since <- Some (now t))
+    t.cpus
+
+(* Sample current idle fraction over [0, now]; benches call reset first. *)
+let idle_fraction t ~since =
+  let elapsed = now t -. since in
+  if elapsed <= 0. then 0.
+  else begin
+    let idle =
+      Array.fold_left
+        (fun acc c ->
+          let extra = match c.idle_since with Some s -> now t -. s | None -> 0. in
+          acc +. c.idle_total +. extra)
+        0. t.cpus
+    in
+    idle /. (elapsed *. float_of_int (ncpus t))
+  end

@@ -1,0 +1,91 @@
+(** Discrete-event model of a small multiprocessor OS kernel.
+
+    Threads are simulated-time coroutines; each CPU is a token a thread
+    must hold to consume time.  Run queues, wake-time CPU selection,
+    context/page-table switch charges, IPIs and idle accounting reproduce
+    the scheduling behaviour the paper measures, with every nanosecond
+    attributed to a Figure 2 cost block per thread and per CPU. *)
+
+module Engine = Dipc_sim.Engine
+module Breakdown = Dipc_sim.Breakdown
+
+type process
+
+type thread
+
+type t
+
+val create : Engine.t -> ncpus:int -> t
+
+val engine : t -> Engine.t
+
+val ncpus : t -> int
+
+(** Current virtual time. *)
+val now : t -> float
+
+(* --- processes --- *)
+
+val create_process : t -> name:string -> process
+
+(** Join two processes into one shared address space (dIPC's shared page
+    table, Sec. 6.1.3): no page-table switch between their threads. *)
+val share_address_space : target:process -> with_:process -> unit
+
+val alloc_fd : process -> string -> int
+
+(* --- CPU consumption and blocking (called from inside threads) --- *)
+
+(** Consume CPU time attributed to [category]; long stretches are chopped
+    into scheduler quanta so ready threads make progress. *)
+val consume : t -> thread -> Breakdown.category -> float -> unit
+
+(** Charge the syscall entry/exit and dispatch blocks. *)
+val syscall_overhead : t -> thread -> unit
+
+(** Sleep queues: blocking with scheduler integration. *)
+module Sleepq : sig
+  type 'a q
+
+  val create : unit -> 'a q
+
+  val length : 'a q -> int
+
+  val is_empty : 'a q -> bool
+end
+
+(** Park the calling thread on [q]; returns the value its waker passes. *)
+val block_on : t -> thread -> 'a Sleepq.q -> 'a
+
+(** Wake one sleeper (charging an IPI when it sits on another, idle CPU);
+    false if the queue was empty. *)
+val wake_one : t -> waker:thread -> 'a Sleepq.q -> 'a -> bool
+
+val wake_all : t -> waker:thread -> 'a Sleepq.q -> 'a -> int
+
+(** Release the CPU and suspend on an externally-resumed waker (device
+    queues). *)
+val suspend_on : t -> thread -> ('a Engine.waker -> unit) -> 'a
+
+(** Blocking wall-clock wait (disk, NIC, timer). *)
+val io_wait : t -> thread -> float -> unit
+
+val yield : t -> thread -> unit
+
+(* --- thread creation --- *)
+
+(** Start a thread of [proc] running [body]; [cpu >= 0] pins it, [at]
+    delays its start.  Unpinned threads spread across CPUs at spawn and
+    wake per the wake policy. *)
+val spawn :
+  ?cpu:int -> ?at:float option -> t -> process -> name:string -> (thread -> unit) -> thread
+
+(* --- statistics --- *)
+
+val cpu_breakdown : t -> int -> Breakdown.t
+
+val cpu_idle_total : t -> int -> float
+
+val reset_stats : t -> unit
+
+val idle_fraction : t -> since:float -> float

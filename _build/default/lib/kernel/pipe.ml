@@ -1,0 +1,60 @@
+(* POSIX pipe model: a bounded in-kernel byte buffer with two copies per
+   transfer (user -> kernel at write, kernel -> user at read), the classic
+   argument-immutability cost of Sec. 2.2. *)
+
+module Breakdown = Dipc_sim.Breakdown
+module Costs = Dipc_sim.Costs
+module Memcost = Dipc_sim.Memcost
+
+let default_capacity = 65536
+
+type t = {
+  kern : Kernel.t;
+  capacity : int;
+  mutable buffered : int;
+  readers : unit Kernel.Sleepq.q; (* waiting for data *)
+  writers : unit Kernel.Sleepq.q; (* waiting for space *)
+}
+
+let create ?(capacity = default_capacity) kern =
+  {
+    kern;
+    capacity;
+    buffered = 0;
+    readers = Kernel.Sleepq.create ();
+    writers = Kernel.Sleepq.create ();
+  }
+
+(* Write [bytes]; blocks while the buffer is full. *)
+let write t th ~bytes =
+  Kernel.syscall_overhead t.kern th;
+  Kernel.consume t.kern th Breakdown.Kernel Costs.pipe_msg;
+  let remaining = ref bytes in
+  while !remaining > 0 do
+    while t.buffered >= t.capacity do
+      Kernel.block_on t.kern th t.writers
+    done;
+    let chunk = min !remaining (t.capacity - t.buffered) in
+    Kernel.consume t.kern th Breakdown.Kernel (Memcost.kernel_copy chunk);
+    t.buffered <- t.buffered + chunk;
+    remaining := !remaining - chunk;
+    ignore (Kernel.wake_one t.kern ~waker:th t.readers ())
+  done
+
+(* Read exactly [bytes]; blocks until all of it has streamed through. *)
+let read t th ~bytes =
+  Kernel.syscall_overhead t.kern th;
+  Kernel.consume t.kern th Breakdown.Kernel Costs.pipe_msg;
+  let remaining = ref bytes in
+  while !remaining > 0 do
+    while t.buffered = 0 do
+      Kernel.block_on t.kern th t.readers
+    done;
+    let chunk = min !remaining t.buffered in
+    Kernel.consume t.kern th Breakdown.Kernel (Memcost.kernel_copy chunk);
+    t.buffered <- t.buffered - chunk;
+    remaining := !remaining - chunk;
+    ignore (Kernel.wake_one t.kern ~waker:th t.writers ())
+  done
+
+let buffered t = t.buffered

@@ -1,0 +1,16 @@
+(** POSIX pipe model: a bounded in-kernel byte buffer paying two copies
+    per transfer (argument immutability by copying, Sec. 2.2). *)
+
+val default_capacity : int
+
+type t
+
+val create : ?capacity:int -> Kernel.t -> t
+
+(** Write [bytes]; blocks while the buffer is full. *)
+val write : t -> Kernel.thread -> bytes:int -> unit
+
+(** Read exactly [bytes]; blocks until it all streamed through. *)
+val read : t -> Kernel.thread -> bytes:int -> unit
+
+val buffered : t -> int

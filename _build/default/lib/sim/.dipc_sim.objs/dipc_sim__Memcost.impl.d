@@ -1,0 +1,1 @@
+lib/sim/memcost.ml: Costs

@@ -1,0 +1,132 @@
+(* Discrete-event simulation engine.
+
+   Simulated threads are ordinary OCaml functions that perform effects to
+   interact with virtual time.  An effect handler per thread turns blocking
+   operations into heap-scheduled continuations, which keeps workload code
+   in direct style (the whole point of using OCaml 5 here: kernel and IPC
+   protocol code below reads like the real thing).
+
+   One-shot continuations: every suspended thread is resumed exactly once,
+   either by the timer heap ([delay]) or by whoever holds its waker
+   ([suspend]/[resume]). *)
+
+type t = {
+  mutable now : float;
+  events : (unit -> unit) Heap.t;
+  mutable live : int; (* threads spawned and not yet finished *)
+  mutable steps : int;
+  mutable step_limit : int;
+}
+
+type 'a waker = { mutable fired : bool; engine : t; deliver : 'a -> unit }
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : ('a waker -> unit) -> 'a Effect.t
+  | Now : float Effect.t
+
+let create () =
+  { now = 0.; events = Heap.create (); live = 0; steps = 0; step_limit = max_int }
+
+let set_step_limit t limit = t.step_limit <- limit
+
+let now t = t.now
+
+let schedule t ~at f =
+  let at = if at < t.now then t.now else at in
+  Heap.push t.events ~time:at f
+
+(* Run [f] as a simulated thread under the effect handler. *)
+let rec exec t f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun exn ->
+          t.live <- t.live - 1;
+          raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t ~at:(t.now +. d) (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let waker =
+                    {
+                      fired = false;
+                      engine = t;
+                      deliver =
+                        (fun v ->
+                          schedule t ~at:t.now (fun () -> continue k v));
+                    }
+                  in
+                  register waker)
+          | Now -> Some (fun (k : (a, unit) continuation) -> continue k t.now)
+          | _ -> None);
+    }
+
+and spawn ?at t f =
+  t.live <- t.live + 1;
+  let at = match at with None -> t.now | Some at -> at in
+  schedule t ~at (fun () -> exec t f)
+
+(* --- operations available inside simulated threads --- *)
+
+let delay d = if d > 0. then Effect.perform (Delay d) else ()
+
+let current_time () = Effect.perform Now
+
+(* Suspend the calling thread; [register] receives a waker that must be
+   fired exactly once (firing twice raises). *)
+let suspend register =
+  Effect.perform
+    (Suspend
+       (fun waker ->
+         register waker))
+
+let resume waker v =
+  if waker.fired then invalid_arg "Engine.resume: waker fired twice";
+  waker.fired <- true;
+  waker.deliver v
+
+(* --- driving the simulation --- *)
+
+exception Step_limit_exceeded
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.events with
+    | None -> continue := false
+    | Some (time, thunk) ->
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then raise Step_limit_exceeded;
+        t.now <- time;
+        thunk ()
+  done
+
+(* Run until virtual time [deadline]; events after it stay queued. *)
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.events with
+    | None -> continue := false
+    | Some time when time > deadline ->
+        t.now <- deadline;
+        continue := false
+    | Some _ ->
+        (match Heap.pop t.events with
+        | None -> continue := false
+        | Some (time, thunk) ->
+            t.steps <- t.steps + 1;
+            if t.steps > t.step_limit then raise Step_limit_exceeded;
+            t.now <- time;
+            thunk ())
+  done
+
+let pending t = Heap.length t.events

@@ -1,0 +1,81 @@
+(* Binary min-heap keyed by (time, sequence number).
+
+   The sequence number breaks ties so that events scheduled for the same
+   instant fire in insertion order, which keeps the discrete-event engine
+   deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let ensure_capacity h filler =
+  let cap = Array.length h.data in
+  if cap = 0 then h.data <- Array.make 16 filler
+  else if h.size = cap then begin
+    let fresh = Array.make (2 * cap) filler in
+    Array.blit h.data 0 fresh 0 h.size;
+    h.data <- fresh
+  end
+
+let push h ~time payload =
+  let entry = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  ensure_capacity h entry;
+  let data = h.data in
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  data.(!i) <- entry;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before data.(!i) data.(parent) then begin
+      let tmp = data.(parent) in
+      data.(parent) <- data.(!i);
+      data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let data = h.data in
+    let top = data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      data.(0) <- data.(h.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && before data.(l) data.(!smallest) then smallest := l;
+        if r < h.size && before data.(r) data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = data.(!smallest) in
+          data.(!smallest) <- data.(!i);
+          data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.data.(0).time

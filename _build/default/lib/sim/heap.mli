@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by (time, insertion order).
+
+    Events scheduled for the same instant pop in insertion order, which
+    keeps the discrete-event engine deterministic. *)
+
+type 'a t
+
+(** An empty heap. *)
+val create : unit -> 'a t
+
+(** Number of queued entries. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Queue [payload] at [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Remove and return the earliest entry, if any. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Time of the earliest entry without removing it. *)
+val peek_time : 'a t -> float option

@@ -1,0 +1,52 @@
+(* Fixed-bucket log2 histogram for latency distributions.
+
+   Buckets are powers of two in nanoseconds; enough for the full range the
+   benchmarks cover (1 ns .. ~1 s). *)
+
+let buckets = 40
+
+type t = { counts : int array; mutable total : int }
+
+let create () = { counts = Array.make buckets 0; total = 0 }
+
+let bucket_of ns =
+  if ns <= 1. then 0
+  else begin
+    let b = int_of_float (Float.log2 ns) in
+    if b < 0 then 0 else if b >= buckets then buckets - 1 else b
+  end
+
+let add t ns =
+  let b = bucket_of ns in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bucket_lower_bound b = 2. ** float_of_int b
+
+(* Approximate percentile: lower bound of the bucket containing rank p. *)
+let percentile t p =
+  if t.total = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.total)) in
+    let rank = max 1 rank in
+    let acc = ref 0 and result = ref 0. and found = ref false in
+    for b = 0 to buckets - 1 do
+      if not !found then begin
+        acc := !acc + t.counts.(b);
+        if !acc >= rank then begin
+          result := bucket_lower_bound b;
+          found := true
+        end
+      end
+    done;
+    !result
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "hist(n=%d" t.total;
+  Array.iteri
+    (fun b c -> if c > 0 then Fmt.pf ppf "; 2^%d:%d" b c)
+    t.counts;
+  Fmt.pf ppf ")"

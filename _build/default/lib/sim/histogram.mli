@@ -1,0 +1,16 @@
+(** Fixed-bucket log2 histogram for latency distributions (1 ns .. ~1 s). *)
+
+type t
+
+val create : unit -> t
+
+(** Record one latency sample, in nanoseconds. *)
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** Approximate percentile ([p] in 0..100): the lower bound of the bucket
+    containing that rank. *)
+val percentile : t -> float -> float
+
+val pp : Format.formatter -> t -> unit

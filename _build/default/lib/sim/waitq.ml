@@ -1,0 +1,31 @@
+(* FIFO wait queue of suspended simulated threads.
+
+   The building block for futexes, pipes, sockets and scheduler run-queues:
+   a thread parks itself with [wait] and a peer hands it a value with
+   [wake_one]/[wake_all]. *)
+
+type 'a t = { waiters : 'a Engine.waker Queue.t }
+
+let create () = { waiters = Queue.create () }
+
+let length t = Queue.length t.waiters
+
+let is_empty t = Queue.is_empty t.waiters
+
+(* Park the calling thread until woken; returns the value passed by the
+   waker. *)
+let wait t = Engine.suspend (fun waker -> Queue.add waker t.waiters)
+
+let wake_one t v =
+  match Queue.take_opt t.waiters with
+  | None -> false
+  | Some waker ->
+      Engine.resume waker v;
+      true
+
+let wake_all t v =
+  let n = Queue.length t.waiters in
+  while not (Queue.is_empty t.waiters) do
+    Engine.resume (Queue.take t.waiters) v
+  done;
+  n

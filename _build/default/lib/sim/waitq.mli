@@ -1,0 +1,19 @@
+(** FIFO wait queue of suspended simulated threads: the engine-level
+    building block under futexes, pipes and run queues. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Park the calling thread until woken; returns the waker's value. *)
+val wait : 'a t -> 'a
+
+(** Wake the longest-waiting thread; false if the queue was empty. *)
+val wake_one : 'a t -> 'a -> bool
+
+(** Wake everyone; returns how many were woken. *)
+val wake_all : 'a t -> 'a -> int

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array Dipc_ipc Dipc_kernel Dipc_sim String

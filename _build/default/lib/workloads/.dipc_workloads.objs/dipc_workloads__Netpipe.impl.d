@@ -1,0 +1,1 @@
+lib/workloads/netpipe.ml: Dipc_sim Float

@@ -1,0 +1,1 @@
+lib/workloads/oltp.ml: Dipc_kernel Dipc_sim Float Printf Queue

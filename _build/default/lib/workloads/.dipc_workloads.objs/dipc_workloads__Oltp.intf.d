@@ -1,0 +1,1 @@
+lib/workloads/oltp.mli: Dipc_sim

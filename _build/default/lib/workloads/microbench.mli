@@ -1,0 +1,28 @@
+(** Micro-benchmark harness for the IPC primitives of Figures 2, 5 and 6:
+    each primitive runs as a real blocking protocol between a client and
+    a server thread on the simulated kernel. *)
+
+module Breakdown = Dipc_sim.Breakdown
+
+type result = {
+  mean_ns : float;  (** per synchronous round trip *)
+  per_cpu : Breakdown.t array;  (** per round trip, indexed by CPU *)
+  total_breakdown : Breakdown.t;
+}
+
+type primitive = Sem | Pipe | L4 | Local_rpc | Tcp_rpc_prim | User_rpc_prim
+
+val primitive_name : primitive -> string
+
+(** Measure [iters] warm round trips with a [bytes]-sized argument;
+    [same_cpu] pins both sides to CPU 0, otherwise they run on CPUs 0
+    and 1. *)
+val run :
+  ?bytes:int -> ?warmup:int -> ?iters:int -> same_cpu:bool -> primitive -> result
+
+val function_call_ns : float
+
+val syscall_ns : float
+
+(** Figure 6 baseline: produce + consume the payload through a pointer. *)
+val baseline_payload_ns : int -> float

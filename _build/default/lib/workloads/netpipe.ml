@@ -1,0 +1,78 @@
+(* Device driver isolation on Infiniband (Sec. 7.3, Figure 7).
+
+   A netpipe-style latency/bandwidth model of the Mellanox NIC accessed
+   through a user-level driver (rsocket).  Each message involves a fixed
+   number of application<->driver interactions (post TX, TX completion,
+   post RX, RX completion); isolating the driver interposes one mechanism
+   on each interaction:
+
+   - none (baseline): direct user-level driver calls;
+   - kernel: the driver moves into the kernel, each interaction is a
+     syscall plus the kernel driver glue;
+   - sem / pipe: the driver is a separate process, each interaction is a
+     synchronous IPC round trip (measured on the kernel model);
+   - dIPC / dIPC+proc: each interaction is a measured dIPC call.
+
+   No additional data copies in any configuration, "just as is done in the
+   original driver". *)
+
+module Costs = Dipc_sim.Costs
+
+type mechanism = Baseline | Kernel_driver | Sem_ipc | Pipe_ipc | Dipc_proc | Dipc_same
+
+let mechanism_name = function
+  | Baseline -> "none (user-level driver)"
+  | Kernel_driver -> "Kernel"
+  | Sem_ipc -> "Semaphore (=CPU)"
+  | Pipe_ipc -> "Pipe (=CPU)"
+  | Dipc_proc -> "dIPC +proc"
+  | Dipc_same -> "dIPC"
+
+(* Driver interactions per message on the send+receive path. *)
+let interactions_per_message = 4
+
+(* Kernel driver glue per interaction beyond the syscall itself. *)
+let kernel_driver_glue = 110.0
+
+type costs = {
+  sem_roundtrip : float; (* measured, =CPU *)
+  pipe_roundtrip : float;
+  dipc_proc_call : float; (* measured on the machine model *)
+  dipc_same_call : float;
+}
+
+let interposition_cost c = function
+  | Baseline -> 0.
+  | Kernel_driver -> Costs.syscall_total +. kernel_driver_glue
+  | Sem_ipc -> c.sem_roundtrip
+  | Pipe_ipc -> c.pipe_roundtrip
+  | Dipc_proc -> c.dipc_proc_call
+  | Dipc_same -> c.dipc_same_call
+
+(* One-way message latency for [bytes]. *)
+let latency c mech ~bytes =
+  let wire = float_of_int bytes /. Costs.ib_bytes_per_ns in
+  let overhead =
+    float_of_int interactions_per_message *. interposition_cost c mech
+  in
+  Costs.ib_base_latency +. wire
+  +. Costs.ib_per_request_driver +. overhead
+
+let latency_overhead_pct c mech ~bytes =
+  let base = latency c Baseline ~bytes in
+  (latency c mech ~bytes -. base) /. base *. 100.
+
+(* Streaming bandwidth: messages pipeline on the wire, but the per-message
+   CPU path (driver + interposition) cannot overlap with itself, so the
+   effective inter-message gap is the larger of the two. *)
+let bandwidth c mech ~bytes =
+  let wire = float_of_int bytes /. Costs.ib_bytes_per_ns in
+  let cpu =
+    Costs.ib_per_request_driver
+    +. (float_of_int interactions_per_message *. interposition_cost c mech)
+  in
+  float_of_int bytes /. Float.max wire cpu
+
+let bandwidth_overhead_pct c mech ~bytes =
+  let base = bandwidth c Baseline ~bytes in
+  (base -. bandwidth c mech ~bytes) /. base *. 100.

@@ -1,0 +1,60 @@
+(* Sensitivity analyses of Sec. 7.5.
+
+   (a) Hardware domain-crossing overheads: given the measured calls per
+   operation and the end-to-end dIPC speedup, how much slower could a
+   cross-domain call get before dIPC loses its benefit?  The paper
+   reports 211 calls/op at 252 ns average and a 14x margin.
+
+   (b) Capability loads: assuming *every* cross-domain memory access pays
+   an extra capability load (the worst case without compiler support),
+   what throughput overhead results, and does a speedup survive?  The
+   paper models 2% cross-domain accesses -> 12% overhead -> 1.59x. *)
+
+type crossing_analysis = {
+  ca_calls_per_op : int;
+  ca_call_ns : float;
+  ca_linux_op_ns : float; (* measured op latency under Linux *)
+  ca_dipc_op_ns : float; (* measured op latency under dIPC *)
+  ca_max_call_ns : float; (* call cost at which dIPC == Linux *)
+  ca_slowdown_margin : float; (* ca_max_call_ns / ca_call_ns *)
+}
+
+let crossing ~calls_per_op ~call_ns ~linux_op_ns ~dipc_op_ns =
+  (* dIPC time excluding crossings + calls * x = Linux time. *)
+  let base = dipc_op_ns -. (float_of_int calls_per_op *. call_ns) in
+  let max_call = (linux_op_ns -. base) /. float_of_int calls_per_op in
+  {
+    ca_calls_per_op = calls_per_op;
+    ca_call_ns = call_ns;
+    ca_linux_op_ns = linux_op_ns;
+    ca_dipc_op_ns = dipc_op_ns;
+    ca_max_call_ns = max_call;
+    ca_slowdown_margin = max_call /. call_ns;
+  }
+
+type capability_analysis = {
+  cl_cross_access_frac : float; (* fraction of accesses crossing domains *)
+  cl_accesses_per_op : float;
+  cl_cap_load_ns : float; (* cost of one extra capability load *)
+  cl_overhead_frac : float; (* modelled throughput overhead *)
+  cl_residual_speedup : float; (* dIPC speedup after paying it *)
+}
+
+(* Worst case: every cross-domain access loads a 32 B capability from
+   memory first; the hit ratios reflect the macro-benchmark's measured
+   cache behaviour under pressure (Sec. 7.5 "if we account for its average
+   cache hit ratios and latencies"). *)
+let capability_loads ~cross_access_frac ~accesses_per_op ~dipc_op_ns ~speedup =
+  let l1_hit = 0.50 and l2_hit = 0.20 in
+  let cap_load =
+    (l1_hit *. 1.0) +. (l2_hit *. 4.0) +. ((1. -. l1_hit -. l2_hit) *. 30.)
+  in
+  let extra = cross_access_frac *. accesses_per_op *. cap_load in
+  let overhead = extra /. dipc_op_ns in
+  {
+    cl_cross_access_frac = cross_access_frac;
+    cl_accesses_per_op = accesses_per_op;
+    cl_cap_load_ns = cap_load;
+    cl_overhead_frac = overhead;
+    cl_residual_speedup = speedup /. (1. +. overhead);
+  }

@@ -1,0 +1,35 @@
+(** Sensitivity analyses of Sec. 7.5: how much slower could hardware
+    domain crossings get before dIPC loses its benefit, and what would
+    worst-case capability loads cost. *)
+
+type crossing_analysis = {
+  ca_calls_per_op : int;
+  ca_call_ns : float;
+  ca_linux_op_ns : float;
+  ca_dipc_op_ns : float;
+  ca_max_call_ns : float;  (** call cost at which dIPC == Linux *)
+  ca_slowdown_margin : float;  (** max_call / call *)
+}
+
+val crossing :
+  calls_per_op:int ->
+  call_ns:float ->
+  linux_op_ns:float ->
+  dipc_op_ns:float ->
+  crossing_analysis
+
+type capability_analysis = {
+  cl_cross_access_frac : float;
+  cl_accesses_per_op : float;
+  cl_cap_load_ns : float;
+  cl_overhead_frac : float;
+  cl_residual_speedup : float;
+}
+
+(** Worst case: every cross-domain access loads a capability first. *)
+val capability_loads :
+  cross_access_frac:float ->
+  accesses_per_op:float ->
+  dipc_op_ns:float ->
+  speedup:float ->
+  capability_analysis

@@ -1,0 +1,1 @@
+test/test_advanced.ml: Alcotest Dipc_core Dipc_hw Printf

@@ -1,0 +1,1 @@
+test/test_archmodels.ml: Alcotest Dipc_hw Dipc_workloads Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dipc_core Dipc_hw Dipc_sim Dipc_workloads Gen List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dipc_core Dipc_hw Dipc_sim Gen List QCheck QCheck_alcotest Result Test

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Dipc_hw List QCheck QCheck_alcotest Result

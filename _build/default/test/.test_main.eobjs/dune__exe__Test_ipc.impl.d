@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Dipc_ipc Dipc_sim Dipc_workloads Float Gen List QCheck QCheck_alcotest String

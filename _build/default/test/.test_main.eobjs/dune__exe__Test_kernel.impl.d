@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Dipc_kernel Dipc_sim List

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Dipc_core Dipc_hw

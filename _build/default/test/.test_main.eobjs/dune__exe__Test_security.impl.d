@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Dipc_core Dipc_hw

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dipc_sim Float Gen List QCheck QCheck_alcotest

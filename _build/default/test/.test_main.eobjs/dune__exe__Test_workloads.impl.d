@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dipc_sim Dipc_workloads Float List

@@ -1,0 +1,326 @@
+(* Deeper end-to-end behaviours: capability arguments travelling over the
+   DCS (Sec. 5.2.3), DCS integrity against a thieving callee, deep
+   cross-process recursion up to KCS exhaustion, grant revocation taking
+   effect immediately, and multi-entry handles. *)
+
+module Perm = Dipc_hw.Perm
+module Machine = Dipc_hw.Machine
+module Isa = Dipc_hw.Isa
+module Fault = Dipc_hw.Fault
+module Sys_ = Dipc_core.System
+module Types = Dipc_core.Types
+module Annot = Dipc_core.Annot
+module Resolver = Dipc_core.Resolver
+module Call = Dipc_core.Call
+
+(* --- capability arguments over the DCS --- *)
+
+(* The caller derives a capability over a private buffer, pushes it on the
+   DCS as the entry's capability argument; the callee pops it and writes
+   through it — the "use capabilities instead of copies" pattern of
+   Sec. 4.2/5.2.2. *)
+let cap_arg_scenario ~callee_props =
+  let t = Sys_.create () in
+  let resolver = Resolver.create () in
+  let callee = Sys_.create_process t ~name:"callee" in
+  let cimg = Annot.image t callee in
+  (* Callee body: pop the capability argument into c0, store r0 through
+     it, return the value written. *)
+  ignore
+    (Annot.declare_function t cimg ~name:"fill"
+       [
+         Isa.CapPop 0;
+         Isa.Const (1, 0) (* address register set below via the cap base *);
+         (* The callee does not know the buffer address: the capability
+            carries it.  We model "writing through the capability" by
+            having the caller pass the address in r1 as well; the
+            *authority* still comes from the capability in c0. *)
+         Isa.Store (2, 0, 0);
+         Isa.Mov (0, 0);
+         Isa.Ret;
+       ]);
+  let sig_ = Types.signature ~args:3 ~rets:1 ~cap_args:1 () in
+  let handle =
+    Annot.declare_entries t cimg ~name:"svc" [ ("fill", sig_, callee_props) ]
+  in
+  Resolver.publish resolver ~path:"/svc" handle;
+  let caller = Sys_.create_process t ~name:"caller" in
+  let img = Annot.image t caller in
+  let sym = Annot.import img ~path:"/svc" ~sig_ ~props:Types.props_none () in
+  let stub = Annot.resolve t resolver sym in
+  (* A private buffer in a dedicated domain of the caller. *)
+  let buf_dom = Sys_.dom_create t caller in
+  let buf = Sys_.dom_mmap t buf_dom ~bytes:4096 () in
+  (* The caller's default domain needs access to derive the capability. *)
+  ignore
+    (Sys_.grant_create t ~src:(Sys_.dom_default caller)
+       ~dst:(Sys_.dom_copy buf_dom Perm.Write));
+  let wrapper =
+    Annot.declare_function t img ~name:"wrapper"
+      [
+        (* c0 <- cap over the buffer; push as the capability argument *)
+        Isa.Const (12, buf);
+        Isa.Const (13, 64);
+        Isa.CapAplDerive (0, 12, 13, Perm.Write);
+        Isa.CapPush 0;
+        Isa.Mov (2, 12) (* r2 = buffer address for the callee's store *);
+        Isa.Call stub;
+        Isa.Ret;
+      ]
+  in
+  let th = Sys_.create_thread t caller in
+  (t, th, wrapper, buf, stub, img)
+
+let test_cap_argument_authorises_write () =
+  let t, th, wrapper, buf, _, _ = cap_arg_scenario ~callee_props:Types.props_none in
+  (match Call.exec t th ~fn:wrapper ~args:[ 777 ] with
+  | Ok v -> Alcotest.(check int) "callee returned the value" 777 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f));
+  Alcotest.(check int) "callee wrote through the capability" 777
+    (Sys_.load t buf)
+
+let test_cap_argument_without_push_fails () =
+  (* Same callee, but the caller pushes no capability: the callee's
+     CapPop underflows the DCS; the fault is flagged back and the caller
+     survives. *)
+  let t, th, _, buf, stub, img = cap_arg_scenario ~callee_props:Types.props_none in
+  let bad_wrapper =
+    Annot.declare_function t img ~name:"bad_wrapper"
+      [ Isa.Const (2, buf); Isa.Call stub; Isa.Ret ]
+  in
+  (match Call.exec t th ~fn:bad_wrapper ~args:[ 1 ] with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "caller must survive: %s" (Fault.to_string f));
+  Alcotest.(check int) "DCS underflow flagged" Types.err_callee_fault
+    (Sys_.errno t th)
+
+(* --- DCS integrity: the callee cannot pop beyond its arguments --- *)
+
+let test_dcs_integrity_blocks_theft () =
+  let t = Sys_.create () in
+  let resolver = Resolver.create () in
+  let callee = Sys_.create_process t ~name:"callee" in
+  let cimg = Annot.image t callee in
+  (* A thieving callee: pops its argument, then pops again to steal the
+     caller's non-argument entry. *)
+  ignore
+    (Annot.declare_function t cimg ~name:"thief"
+       [ Isa.CapPop 0; Isa.CapPop 1; Isa.Const (0, 1); Isa.Ret ]);
+  let sig_ = Types.signature ~args:1 ~rets:1 ~cap_args:1 () in
+  let handle =
+    Annot.declare_entries t cimg ~name:"svc" [ ("thief", sig_, Types.props_none) ]
+  in
+  Resolver.publish resolver ~path:"/svc" handle;
+  let caller = Sys_.create_process t ~name:"caller" in
+  let img = Annot.image t caller in
+  (* The caller requests DCS integrity: non-argument entries protected. *)
+  let props = { Types.props_none with Types.dcs_integrity = true } in
+  let sym = Annot.import img ~path:"/svc" ~sig_ ~props () in
+  let stub = Annot.resolve t resolver sym in
+  let secret_dom = Sys_.dom_create t caller in
+  let secret = Sys_.dom_mmap t secret_dom ~bytes:4096 () in
+  ignore
+    (Sys_.grant_create t ~src:(Sys_.dom_default caller)
+       ~dst:(Sys_.dom_copy secret_dom Perm.Write));
+  let wrapper =
+    Annot.declare_function t img ~name:"wrapper"
+      [
+        (* Push a private capability (NOT an argument), then the actual
+           capability argument on top. *)
+        Isa.Const (12, secret);
+        Isa.Const (13, 64);
+        Isa.CapAplDerive (0, 12, 13, Perm.Write);
+        Isa.CapPush 0 (* the caller's secret entry *);
+        Isa.CapPush 0 (* the one argument *);
+        Isa.Call stub;
+        Isa.Ret;
+      ]
+  in
+  let th = Sys_.create_thread t caller in
+  (* The theft attempt faults inside the callee (pop below base) and the
+     caller resumes with errno set. *)
+  (match Call.exec t th ~fn:wrapper ~args:[] with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "caller must survive: %s" (Fault.to_string f));
+  Alcotest.(check int) "theft flagged" Types.err_callee_fault (Sys_.errno t th)
+
+let test_no_dcs_integrity_allows_pops () =
+  (* Without DCS integrity the same pop succeeds — that is the documented
+     contract of the minimal policy. *)
+  let t = Sys_.create () in
+  let resolver = Resolver.create () in
+  let callee = Sys_.create_process t ~name:"callee" in
+  let cimg = Annot.image t callee in
+  ignore
+    (Annot.declare_function t cimg ~name:"popper"
+       [ Isa.CapPop 0; Isa.CapPop 1; Isa.Const (0, 1); Isa.Ret ]);
+  let sig_ = Types.signature ~args:1 ~rets:1 ~cap_args:1 () in
+  let handle =
+    Annot.declare_entries t cimg ~name:"svc" [ ("popper", sig_, Types.props_none) ]
+  in
+  Resolver.publish resolver ~path:"/svc" handle;
+  let caller = Sys_.create_process t ~name:"caller" in
+  let img = Annot.image t caller in
+  let sym = Annot.import img ~path:"/svc" ~sig_ ~props:Types.props_none () in
+  let stub = Annot.resolve t resolver sym in
+  let wrapper =
+    Annot.declare_function t img ~name:"wrapper"
+      [
+        Isa.Const (12, 0x100000) (* any address the caller may cover: its stack *);
+        Isa.Mov (12, Isa.sp);
+        Isa.Const (13, 8);
+        Isa.CapRestrict (0, 6, 12, 13, Perm.Read);
+        Isa.CapPush 0;
+        Isa.CapPush 0;
+        Isa.Call stub;
+        Isa.Ret;
+      ]
+  in
+  let th = Sys_.create_thread t caller in
+  (match Call.exec t th ~fn:wrapper ~args:[] with
+  | Ok v -> Alcotest.(check int) "both pops succeeded" 1 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f));
+  Alcotest.(check int) "no fault flagged" Types.err_none (Sys_.errno t th)
+
+(* --- deep cross-process recursion: KCS bounds --- *)
+
+let test_deep_recursion_exhausts_kcs () =
+  (* Two processes call each other recursively; each crossing pushes a KCS
+     entry, and the 32-entry KCS must eventually trap — cleanly. *)
+  let t = Sys_.create () in
+  let resolver = Resolver.create () in
+  let sig_ = Types.signature ~args:1 ~rets:1 () in
+  let a = Sys_.create_process t ~name:"a" in
+  let b = Sys_.create_process t ~name:"b" in
+  let aimg = Annot.image t a and bimg = Annot.image t b in
+  (* Declare entries with placeholder bodies first so both sides can
+     import, then patch the bodies with the resolved stubs. *)
+  let mem = t.Sys_.machine.Sys_.Machine.mem in
+  let a_fn = Annot.declare_function t aimg ~name:"ping" [ Isa.Nop; Isa.Nop; Isa.Nop; Isa.Nop; Isa.Nop; Isa.Ret ] in
+  let b_fn = Annot.declare_function t bimg ~name:"pong" [ Isa.Nop; Isa.Nop; Isa.Nop; Isa.Nop; Isa.Nop; Isa.Ret ] in
+  let a_handle = Annot.declare_entries t aimg ~name:"a" [ ("ping", sig_, Types.props_none) ] in
+  let b_handle = Annot.declare_entries t bimg ~name:"b" [ ("pong", sig_, Types.props_none) ] in
+  Resolver.publish resolver ~path:"/a" a_handle;
+  Resolver.publish resolver ~path:"/b" b_handle;
+  let a_sym = Annot.import aimg ~path:"/b" ~sig_ ~props:Types.props_none () in
+  let b_sym = Annot.import bimg ~path:"/a" ~sig_ ~props:Types.props_none () in
+  let b_stub = Annot.resolve t resolver a_sym in
+  let a_stub = Annot.resolve t resolver b_sym in
+  (* ping(n): if n = 0 return 42 else pong(n-1); and vice versa. *)
+  let body ~self ~other_stub =
+    [
+      Isa.Bnez (0, self + (3 * Isa.instr_bytes));
+      Isa.Const (0, 42);
+      Isa.Ret;
+      Isa.Addi (0, 0, -1);
+      Isa.Call other_stub;
+      Isa.Ret;
+    ]
+  in
+  ignore (Dipc_hw.Memory.place_code mem ~addr:a_fn (body ~self:a_fn ~other_stub:b_stub));
+  ignore (Dipc_hw.Memory.place_code mem ~addr:b_fn (body ~self:b_fn ~other_stub:a_stub));
+  let driver = Sys_.create_process t ~name:"driver" in
+  let dimg = Annot.image t driver in
+  let d_sym = Annot.import dimg ~path:"/a" ~sig_ ~props:Types.props_none () in
+  let th = Sys_.create_thread t driver in
+  (* Shallow recursion completes. *)
+  (match Annot.call t resolver th d_sym ~args:[ 6 ] with
+  | Ok v -> Alcotest.(check int) "depth 6 returns" 42 v
+  | Error f -> Alcotest.failf "fault at depth 6: %s" (Fault.to_string f));
+  (* Deep recursion exhausts the 32-entry KCS; every caller in the chain
+     is alive, so the fault is flagged and the driver survives. *)
+  (match Annot.call t resolver th d_sym ~args:[ 100 ] with
+  | Ok _ -> Alcotest.(check int) "errno flags the overflow" Types.err_callee_fault (Sys_.errno t th)
+  | Error f ->
+      Alcotest.failf "driver should have been resumed: %s" (Fault.to_string f));
+  (* And the system still works afterwards. *)
+  match Annot.call t resolver th d_sym ~args:[ 2 ] with
+  | Ok v -> Alcotest.(check int) "usable after overflow" 42 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+
+(* --- grant revocation takes effect immediately --- *)
+
+let test_grant_revocation_immediate () =
+  let t = Sys_.create () in
+  let owner = Sys_.create_process t ~name:"owner" in
+  let reader = Sys_.create_process t ~name:"reader" in
+  let data_dom = Sys_.dom_create t owner in
+  let data = Sys_.dom_mmap t data_dom ~bytes:4096 () in
+  Sys_.store t data 5;
+  let g =
+    Sys_.grant_create t ~src:(Sys_.dom_default reader)
+      ~dst:(Sys_.dom_copy data_dom Perm.Read)
+  in
+  let rimg = Annot.image t reader in
+  let read_fn =
+    Annot.declare_function t rimg ~name:"read"
+      [ Isa.Const (1, data); Isa.Load (0, 1, 0); Isa.Ret ]
+  in
+  let th = Sys_.create_thread t reader in
+  (match Call.exec t th ~fn:read_fn ~args:[] with
+  | Ok v -> Alcotest.(check int) "read while granted" 5 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f));
+  Sys_.grant_revoke t g;
+  match Call.exec t th ~fn:read_fn ~args:[] with
+  | Ok _ -> Alcotest.fail "read after revocation must fault"
+  | Error f ->
+      Alcotest.(check bool) "revoked" true
+        (match f.Fault.kind with Fault.No_permission _ -> true | _ -> false)
+
+(* --- multi-entry handles --- *)
+
+let test_multi_entry_handle () =
+  let t = Sys_.create () in
+  let resolver = Resolver.create () in
+  let callee = Sys_.create_process t ~name:"callee" in
+  let img = Annot.image t callee in
+  ignore (Annot.declare_function t img ~name:"add" [ Isa.Add (0, 0, 1); Isa.Ret ]);
+  ignore (Annot.declare_function t img ~name:"mul" [ Isa.Mul (0, 0, 1); Isa.Ret ]);
+  ignore (Annot.declare_function t img ~name:"sub" [ Isa.Sub (0, 0, 1); Isa.Ret ]);
+  let sig_ = Types.signature ~args:2 ~rets:1 () in
+  let handle =
+    Annot.declare_entries t img ~name:"math"
+      [
+        ("add", sig_, Types.props_none);
+        ("mul", sig_, Types.props_high);
+        ("sub", sig_, Types.props_none);
+      ]
+  in
+  Resolver.publish resolver ~path:"/math" handle;
+  let caller = Sys_.create_process t ~name:"caller" in
+  let cimg = Annot.image t caller in
+  let th = Sys_.create_thread t caller in
+  let call_entry index expected args =
+    let sym = Annot.import cimg ~path:"/math" ~index ~sig_ ~props:Types.props_none () in
+    match Annot.call t resolver th sym ~args with
+    | Ok v -> Alcotest.(check int) (Printf.sprintf "entry %d" index) expected v
+    | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  in
+  call_entry 0 13 [ 6; 7 ];
+  call_entry 1 42 [ 6; 7 ];
+  call_entry 2 (-1) [ 6; 7 ]
+
+let suites =
+  [
+    ( "adv.capabilities",
+      [
+        Alcotest.test_case "cap argument over the DCS" `Quick
+          test_cap_argument_authorises_write;
+        Alcotest.test_case "missing cap argument" `Quick
+          test_cap_argument_without_push_fails;
+        Alcotest.test_case "DCS integrity blocks theft" `Quick
+          test_dcs_integrity_blocks_theft;
+        Alcotest.test_case "no DCS integrity allows pops" `Quick
+          test_no_dcs_integrity_allows_pops;
+      ] );
+    ( "adv.depth",
+      [
+        Alcotest.test_case "deep recursion exhausts KCS" `Quick
+          test_deep_recursion_exhausts_kcs;
+      ] );
+    ( "adv.grants",
+      [
+        Alcotest.test_case "revocation immediate" `Quick test_grant_revocation_immediate;
+        Alcotest.test_case "multi-entry handle" `Quick test_multi_entry_handle;
+      ] );
+  ]

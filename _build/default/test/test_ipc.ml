@@ -1,0 +1,188 @@
+(* Tests for the baseline IPC primitives and their calibration against the
+   paper's measurements (Figures 2 and 5). *)
+
+module Breakdown = Dipc_sim.Breakdown
+module Costs = Dipc_sim.Costs
+module Xdr = Dipc_ipc.Xdr
+module M = Dipc_workloads.Microbench
+
+(* --- XDR codec --- *)
+
+let test_xdr_roundtrip () =
+  let e = Xdr.encoder () in
+  Xdr.enc_int e 42;
+  Xdr.enc_string e "hello";
+  Xdr.enc_bool e true;
+  Xdr.enc_list e Xdr.enc_int [ 1; 2; 3 ];
+  let d = Xdr.decoder (Xdr.to_string e) in
+  Alcotest.(check int) "int" 42 (Xdr.dec_int d);
+  Alcotest.(check string) "string" "hello" (Xdr.dec_string d);
+  Alcotest.(check bool) "bool" true (Xdr.dec_bool d);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Xdr.dec_list d Xdr.dec_int)
+
+let test_xdr_padding () =
+  (* Opaque data pads to 4-byte multiples like real XDR. *)
+  let e = Xdr.encoder () in
+  Xdr.enc_opaque e "abc";
+  Xdr.enc_int e 7;
+  let s = Xdr.to_string e in
+  Alcotest.(check int) "length includes pad" (4 + 3 + 1 + 8) (String.length s);
+  let d = Xdr.decoder s in
+  Alcotest.(check string) "opaque" "abc" (Xdr.dec_opaque d);
+  Alcotest.(check int) "aligned follower" 7 (Xdr.dec_int d)
+
+let test_xdr_short_buffer () =
+  let d = Xdr.decoder "\000\000" in
+  Alcotest.(check bool) "short buffer raises" true
+    (try
+       ignore (Xdr.dec_int d);
+       false
+     with Xdr.Decode_error _ -> true)
+
+let prop_xdr_string_roundtrip =
+  QCheck.Test.make ~name:"xdr opaque round-trips any string" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let e = Xdr.encoder () in
+      Xdr.enc_opaque e s;
+      let d = Xdr.decoder (Xdr.to_string e) in
+      Xdr.dec_opaque d = s)
+
+let prop_xdr_int_list_roundtrip =
+  QCheck.Test.make ~name:"xdr int list round-trips" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 50) int)
+    (fun xs ->
+      let e = Xdr.encoder () in
+      Xdr.enc_list e Xdr.enc_int xs;
+      let d = Xdr.decoder (Xdr.to_string e) in
+      Xdr.dec_list d Xdr.dec_int = xs)
+
+(* --- calibration against the paper (Figure 5, x of a 2 ns call) ---
+
+   Band checks: the measured round-trip must land within a factor band of
+   the paper's value, wide enough to tolerate model evolution but tight
+   enough that the figure keeps its shape. *)
+
+let band name ~paper ~lo ~hi actual =
+  if actual < paper *. lo || actual > paper *. hi then
+    Alcotest.failf "%s: %.0f ns outside [%.0f, %.0f] (paper %.0f)" name actual
+      (paper *. lo) (paper *. hi) paper
+
+let run ?bytes prim ~same_cpu = (M.run ?bytes ~warmup:10 ~iters:60 ~same_cpu prim).M.mean_ns
+
+let test_sem_calibration () =
+  band "Sem =CPU" ~paper:1514. ~lo:0.6 ~hi:1.6 (run M.Sem ~same_cpu:true);
+  band "Sem !=CPU" ~paper:4518. ~lo:0.6 ~hi:1.6 (run M.Sem ~same_cpu:false)
+
+let test_pipe_calibration () =
+  band "Pipe =CPU" ~paper:2032. ~lo:0.6 ~hi:1.6 (run M.Pipe ~same_cpu:true);
+  band "Pipe !=CPU" ~paper:4514. ~lo:0.6 ~hi:1.6 (run M.Pipe ~same_cpu:false)
+
+let test_l4_calibration () =
+  (* L4 (=CPU) is 474x a function call in the paper. *)
+  band "L4 =CPU" ~paper:948. ~lo:0.6 ~hi:1.6 (run M.L4 ~same_cpu:true)
+
+let test_rpc_calibration () =
+  band "RPC =CPU" ~paper:6856. ~lo:0.6 ~hi:1.6 (run M.Local_rpc ~same_cpu:true);
+  band "RPC !=CPU" ~paper:8442. ~lo:0.6 ~hi:1.6 (run M.Local_rpc ~same_cpu:false)
+
+let test_user_rpc_calibration () =
+  (* "almost twice as fast as RPC" (Sec. 7.2). *)
+  let user_rpc = run M.User_rpc_prim ~same_cpu:false in
+  let rpc = run M.Local_rpc ~same_cpu:false in
+  band "User RPC !=CPU" ~paper:4822. ~lo:0.6 ~hi:1.6 user_rpc;
+  Alcotest.(check bool) "user RPC well below socket RPC" true
+    (user_rpc < 0.7 *. rpc)
+
+let test_cross_cpu_slower () =
+  List.iter
+    (fun prim ->
+      let same = run prim ~same_cpu:true and cross = run prim ~same_cpu:false in
+      if cross <= same then
+        Alcotest.failf "%s: cross-CPU (%.0f) should exceed same-CPU (%.0f)"
+          (M.primitive_name prim) cross same)
+    [ M.Sem; M.Pipe; M.L4 ]
+
+let test_all_orders_of_magnitude_above_call () =
+  (* "In all cases, traditional IPC is orders of magnitude slower than a
+     function call" (Sec. 2.2). *)
+  List.iter
+    (fun prim ->
+      let t = run prim ~same_cpu:true in
+      Alcotest.(check bool) "100x a function call" true
+        (t > 100. *. Costs.function_call))
+    [ M.Sem; M.Pipe; M.L4; M.Local_rpc ]
+
+let test_breakdown_structure () =
+  let r = M.run ~warmup:10 ~iters:50 ~same_cpu:true M.Sem in
+  let bd = r.M.total_breakdown in
+  Alcotest.(check bool) "has syscall entry time" true
+    (Breakdown.get bd Breakdown.Syscall_entry > 0.);
+  Alcotest.(check bool) "has kernel time" true (Breakdown.get bd Breakdown.Kernel > 0.);
+  Alcotest.(check bool) "has schedule time" true
+    (Breakdown.get bd Breakdown.Schedule > 0.);
+  (* Per-CPU breakdown should roughly sum to the measured mean. *)
+  let total = Breakdown.total bd in
+  Alcotest.(check bool) "breakdown ~= wall time" true
+    (Float.abs (total -. r.M.mean_ns) /. r.M.mean_ns < 0.35)
+
+let test_rpc_breakdown_user_heavy () =
+  (* The rpcgen stubs put serious time in user code (Fig. 2 block 1). *)
+  let r = M.run ~warmup:10 ~iters:50 ~same_cpu:true M.Local_rpc in
+  let user = Breakdown.get r.M.total_breakdown Breakdown.User_code in
+  Alcotest.(check bool) "user code > 25% of RPC" true (user > 0.25 *. r.M.mean_ns)
+
+(* --- Figure 6 growth shapes --- *)
+
+let added prim ~bytes =
+  let t = run ~bytes prim ~same_cpu:false in
+  t -. M.baseline_payload_ns bytes
+
+let test_size_growth_pipe_vs_sem () =
+  (* Pipes copy through the kernel twice; semaphores only pay the shared
+     buffer population, so pipes grow faster with size. *)
+  let pipe_small = added M.Pipe ~bytes:64 and pipe_big = added M.Pipe ~bytes:65536 in
+  let sem_small = added M.Sem ~bytes:64 and sem_big = added M.Sem ~bytes:65536 in
+  Alcotest.(check bool) "pipe grows" true (pipe_big > pipe_small +. 1000.);
+  Alcotest.(check bool) "pipe grows faster than sem" true
+    (pipe_big -. pipe_small > sem_big -. sem_small)
+
+let test_size_growth_rpc_worst () =
+  (* RPC adds marshalling copies on top of the socket copies. *)
+  let rpc = added M.Local_rpc ~bytes:65536 in
+  let pipe = added M.Pipe ~bytes:65536 in
+  Alcotest.(check bool) "rpc > pipe at 64KB" true (rpc > pipe)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "ipc.xdr",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_xdr_roundtrip;
+        Alcotest.test_case "padding" `Quick test_xdr_padding;
+        Alcotest.test_case "short buffer" `Quick test_xdr_short_buffer;
+      ]
+      @ qsuite [ prop_xdr_string_roundtrip; prop_xdr_int_list_roundtrip ] );
+    ( "ipc.calibration",
+      [
+        Alcotest.test_case "sem (Fig. 5)" `Quick test_sem_calibration;
+        Alcotest.test_case "pipe (Fig. 5)" `Quick test_pipe_calibration;
+        Alcotest.test_case "l4 (Fig. 5)" `Quick test_l4_calibration;
+        Alcotest.test_case "rpc (Fig. 5)" `Quick test_rpc_calibration;
+        Alcotest.test_case "user rpc (Fig. 5)" `Quick test_user_rpc_calibration;
+        Alcotest.test_case "cross-CPU slower" `Quick test_cross_cpu_slower;
+        Alcotest.test_case "IPC >> function call" `Quick
+          test_all_orders_of_magnitude_above_call;
+      ] );
+    ( "ipc.breakdown",
+      [
+        Alcotest.test_case "sem structure (Fig. 2)" `Quick test_breakdown_structure;
+        Alcotest.test_case "rpc user-heavy (Fig. 2)" `Quick test_rpc_breakdown_user_heavy;
+      ] );
+    ( "ipc.sizes",
+      [
+        Alcotest.test_case "pipe vs sem growth (Fig. 6)" `Quick test_size_growth_pipe_vs_sem;
+        Alcotest.test_case "rpc worst growth (Fig. 6)" `Quick test_size_growth_rpc_worst;
+      ] );
+  ]

@@ -1,0 +1,146 @@
+(* Tests for dipcc, the image-description front-end that plays the
+   paper's compiler-pass role (Secs. 3.3, 5.3, 6.2). *)
+
+module Sys_ = Dipc_core.System
+module Dipcc = Dipc_core.Dipcc
+module Annot = Dipc_core.Annot
+module Types = Dipc_core.Types
+module Fault = Dipc_hw.Fault
+
+let two_process_source =
+  {|
+# the paper's running example, as dipcc text
+process database
+  domain service
+  func query @service
+    add r0, r0, r1
+    ret
+  end
+  entry db = query@service sig(args=2, rets=1) policy(reg-conf)
+  publish db /run/db.sock
+
+process web
+  import q /run/db.sock sig(args=2, rets=1) policy(reg-int)
+|}
+
+let test_two_process_image () =
+  let t = Sys_.create () in
+  let loaded = Dipcc.load t two_process_source in
+  let web = (Dipcc.image loaded ~proc:"web").Annot.img_proc in
+  let th = Sys_.create_thread t web in
+  match Dipcc.call t loaded th ~proc:"web" ~name:"q" ~args:[ 40; 2 ] with
+  | Ok v -> Alcotest.(check int) "query(40,2) through the DSL" 42 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+
+let test_labels_and_loops () =
+  let t = Sys_.create () in
+  let source =
+    {|
+process math
+  func sum_to_n
+    const r1, 0
+    loop:
+    beqz r0, done
+    add r1, r1, r0
+    addi r0, r0, -1
+    jmp loop
+    done:
+    mov r0, r1
+    ret
+  end
+  entry api = sum_to_n sig(args=1, rets=1)
+  publish api /math
+
+process client
+  import sum /math sig(args=1, rets=1)
+|}
+  in
+  let loaded = Dipcc.load t source in
+  let client = (Dipcc.image loaded ~proc:"client").Annot.img_proc in
+  let th = Sys_.create_thread t client in
+  match Dipcc.call t loaded th ~proc:"client" ~name:"sum" ~args:[ 10 ] with
+  | Ok v -> Alcotest.(check int) "sum 1..10" 55 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+
+let test_local_calls () =
+  let t = Sys_.create () in
+  let source =
+    {|
+process p
+  func double
+    add r0, r0, r0
+    ret
+  end
+  func quad
+    call double
+    call double
+    ret
+  end
+  entry api = quad sig(args=1, rets=1)
+  publish api /quad
+
+process c
+  import quad /quad sig(args=1, rets=1)
+|}
+  in
+  let loaded = Dipcc.load t source in
+  let c = (Dipcc.image loaded ~proc:"c").Annot.img_proc in
+  let th = Sys_.create_thread t c in
+  match Dipcc.call t loaded th ~proc:"c" ~name:"quad" ~args:[ 3 ] with
+  | Ok v -> Alcotest.(check int) "3*4" 12 v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+
+let test_parse_errors () =
+  let t = Sys_.create () in
+  let expect_error source =
+    match Dipcc.load t source with
+    | exception Dipcc.Parse_error _ -> ()
+    | exception Sys_.Denied _ -> ()
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  expect_error "bogus directive";
+  expect_error "process p\nfunc f\n  frobnicate r0\nend";
+  expect_error "process p\nfunc f\n  ret"; (* missing end *)
+  expect_error "process p\nentry e = nosuch sig(args=0, rets=0)";
+  expect_error "process p\nimport x /nope"; (* missing sig *)
+  expect_error "process p\nfunc f\n  const r99, 1\nend"
+
+let test_policy_parsing () =
+  let t = Sys_.create () in
+  let source =
+    {|
+process s
+  func f
+    ret
+  end
+  entry e = f sig(args=0, rets=0) policy(reg-int, stack-conf, dcs-int)
+  publish e /s
+|}
+  in
+  ignore (Dipcc.load t source);
+  (* The policy made it into the handle. *)
+  let loaded = Dipcc.load t {|
+process s2
+  func f
+    ret
+  end
+  entry e = f sig(args=0, rets=0) policy(high)
+  publish e /s2
+|} in
+  let img = Dipcc.image loaded ~proc:"s2" in
+  let handle = Annot.entry_handle img "e" in
+  Alcotest.(check bool) "high policy propagated" true
+    (handle.Dipc_core.Entry.eh_entries.(0).Dipc_core.Entry.e_policy
+    = Types.props_high)
+
+let suites =
+  [
+    ( "lang.dipcc",
+      [
+        Alcotest.test_case "two-process image" `Quick test_two_process_image;
+        Alcotest.test_case "labels and loops" `Quick test_labels_and_loops;
+        Alcotest.test_case "local calls" `Quick test_local_calls;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "policy parsing" `Quick test_policy_parsing;
+      ] );
+  ]

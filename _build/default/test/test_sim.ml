@@ -1,0 +1,331 @@
+(* Tests for the simulation substrate: event heap, RNG, statistics,
+   breakdown accounting, memory cost model, and the effect-handler
+   discrete-event engine. *)
+
+module Heap = Dipc_sim.Heap
+module Rng = Dipc_sim.Rng
+module Stats = Dipc_sim.Stats
+module Breakdown = Dipc_sim.Breakdown
+module Memcost = Dipc_sim.Memcost
+module Engine = Dipc_sim.Engine
+module Waitq = Dipc_sim.Waitq
+module Histogram = Dipc_sim.Histogram
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let checkf msg ~expected ~tolerance actual =
+  if Float.abs (actual -. expected) > tolerance then
+    Alcotest.failf "%s: expected %f +- %f, got %f" msg expected tolerance actual
+
+(* --- heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.push h ~time:t t) [ 5.; 1.; 3.; 2.; 4. ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.)))
+    "sorted" [ 1.; 2.; 3.; 4.; 5. ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~time:1. v) [ "a"; "b"; "c" ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order at equal times"
+    [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_time h = None)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_bound_exclusive 1e6))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:t ()) times;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.float a = Rng.float b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:100 QCheck.small_int
+    (fun seed ->
+      let r = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let f = Rng.float r in
+        if f < 0. || f >= 1. then ok := false
+      done;
+      !ok)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int in [0,bound)" ~count:100
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:7 in
+  let acc = ref 0. in
+  let n = 50_000 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~mean:100.
+  done;
+  checkf "exponential mean" ~expected:100. ~tolerance:3. (!acc /. float_of_int n)
+
+(* --- stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  check_float "mean" 3. (Stats.mean s);
+  check_float "min" 1. (Stats.min_value s);
+  check_float "max" 5. (Stats.max_value s);
+  checkf "stddev" ~expected:(sqrt 2.5) ~tolerance:1e-9 (Stats.stddev s);
+  Alcotest.(check int) "count" 5 (Stats.count s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "mean of empty" 0. (Stats.mean s);
+  check_float "stddev of empty" 0. (Stats.stddev s)
+
+let test_stats_percentile () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile samples 50.);
+  check_float "p99" 99. (Stats.percentile samples 99.);
+  check_float "p100" 100. (Stats.percentile samples 100.)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min_value s -. 1e-6
+      && Stats.mean s <= Stats.max_value s +. 1e-6)
+
+(* --- breakdown --- *)
+
+let test_breakdown_charge () =
+  let b = Breakdown.create () in
+  Breakdown.charge b Breakdown.User_code 10.;
+  Breakdown.charge b Breakdown.Kernel 5.;
+  Breakdown.charge b Breakdown.User_code 2.;
+  check_float "user" 12. (Breakdown.get b Breakdown.User_code);
+  check_float "total" 17. (Breakdown.total b)
+
+let test_breakdown_merge_scale () =
+  let a = Breakdown.create () and b = Breakdown.create () in
+  Breakdown.charge a Breakdown.Idle 4.;
+  Breakdown.charge b Breakdown.Idle 6.;
+  Breakdown.merge ~into:a b;
+  check_float "merged" 10. (Breakdown.get a Breakdown.Idle);
+  let half = Breakdown.scale a 0.5 in
+  check_float "scaled" 5. (Breakdown.get half Breakdown.Idle)
+
+let test_breakdown_figure2_folding () =
+  let b = Breakdown.create () in
+  Breakdown.charge b Breakdown.Proxy 7.;
+  Breakdown.charge b Breakdown.Stub 3.;
+  Breakdown.charge b Breakdown.Kernel 1.;
+  let f = Breakdown.to_figure2 b in
+  check_float "proxy folds into kernel" 8. (Breakdown.get f Breakdown.Kernel);
+  check_float "stub folds into user" 3. (Breakdown.get f Breakdown.User_code);
+  check_float "proxy cleared" 0. (Breakdown.get f Breakdown.Proxy);
+  check_float "total preserved" (Breakdown.total b) (Breakdown.total f)
+
+(* --- memcost --- *)
+
+let test_memcost_monotone () =
+  let prev = ref 0. in
+  List.iter
+    (fun b ->
+      let c = Memcost.user_copy b in
+      Alcotest.(check bool) "copy cost grows" true (c > !prev);
+      prev := c)
+    [ 64; 1024; 32 * 1024; 256 * 1024; 1024 * 1024 ]
+
+let test_memcost_cache_kinks () =
+  (* Per-byte cost steps up when the footprint spills L1 and then L2. *)
+  let per_byte b = Memcost.write_buffer b /. float_of_int b in
+  Alcotest.(check bool) "L1 < L2 rate" true (per_byte 1024 < per_byte (128 * 1024));
+  Alcotest.(check bool) "L2 < mem rate" true
+    (per_byte (128 * 1024) < per_byte (4 * 1024 * 1024))
+
+let test_memcost_kernel_copy_page_checks () =
+  (* Kernel copies add per-page costs over a user copy. *)
+  let bytes = 8 * 4096 in
+  Alcotest.(check bool) "kernel copy slower" true
+    (Memcost.kernel_copy bytes > Memcost.user_copy bytes)
+
+(* --- engine --- *)
+
+let test_engine_delay_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.delay 10.;
+      log := ("a", Engine.current_time ()) :: !log);
+  Engine.spawn e (fun () ->
+      Engine.delay 5.;
+      log := ("b", Engine.current_time ()) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 0.))))
+    "order and times"
+    [ ("b", 5.); ("a", 10.) ]
+    (List.rev !log)
+
+let test_engine_suspend_resume () =
+  let e = Engine.create () in
+  let slot = ref None in
+  let got = ref (-1) in
+  Engine.spawn e (fun () ->
+      let v = Engine.suspend (fun w -> slot := Some w) in
+      got := v);
+  Engine.spawn e (fun () ->
+      Engine.delay 3.;
+      match !slot with Some w -> Engine.resume w 42 | None -> ());
+  Engine.run e;
+  Alcotest.(check int) "value delivered" 42 !got
+
+let test_engine_double_resume_rejected () =
+  let e = Engine.create () in
+  let slot = ref None in
+  Engine.spawn e (fun () -> ignore (Engine.suspend (fun w -> slot := Some w)));
+  Engine.spawn e (fun () ->
+      Engine.delay 1.;
+      match !slot with
+      | Some w ->
+          Engine.resume w ();
+          Alcotest.check_raises "second resume raises"
+            (Invalid_argument "Engine.resume: waker fired twice") (fun () ->
+              Engine.resume w ())
+      | None -> ());
+  Engine.run e
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.spawn e (fun () ->
+      Engine.delay 10.;
+      incr fired;
+      Engine.delay 10.;
+      incr fired);
+  Engine.run_until e 15.;
+  Alcotest.(check int) "only first event" 1 !fired;
+  check_float "clock at deadline" 15. (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest continues" 2 !fired
+
+let test_waitq_fifo () =
+  let e = Engine.create () in
+  let q = Waitq.create () in
+  let out = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn e (fun () ->
+        let v = Waitq.wait q in
+        out := (i, v) :: !out)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 1.;
+      ignore (Waitq.wake_one q "x");
+      ignore (Waitq.wake_all q "y"));
+  Engine.run e;
+  Alcotest.(check (list (pair int string)))
+    "fifo and broadcast"
+    [ (1, "x"); (2, "y"); (3, "y") ]
+    (List.rev !out)
+
+let test_histogram () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.; 2.; 4.; 1024.; 1_000_000. ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check bool) "p50 small" true (Histogram.percentile h 50. <= 4.);
+  Alcotest.(check bool) "p99 large" true (Histogram.percentile h 99. >= 65536.)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+      ]
+      @ qsuite [ prop_heap_sorted ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+      ]
+      @ qsuite [ prop_rng_float_range; prop_rng_int_range ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+      ]
+      @ qsuite [ prop_stats_mean_bounds ] );
+    ( "sim.breakdown",
+      [
+        Alcotest.test_case "charge/total" `Quick test_breakdown_charge;
+        Alcotest.test_case "merge/scale" `Quick test_breakdown_merge_scale;
+        Alcotest.test_case "figure2 folding" `Quick test_breakdown_figure2_folding;
+      ] );
+    ( "sim.memcost",
+      [
+        Alcotest.test_case "monotone" `Quick test_memcost_monotone;
+        Alcotest.test_case "cache kinks" `Quick test_memcost_cache_kinks;
+        Alcotest.test_case "kernel page checks" `Quick
+          test_memcost_kernel_copy_page_checks;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "delay ordering" `Quick test_engine_delay_ordering;
+        Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+        Alcotest.test_case "double resume" `Quick test_engine_double_resume_rejected;
+        Alcotest.test_case "run_until" `Quick test_engine_run_until;
+        Alcotest.test_case "waitq fifo" `Quick test_waitq_fifo;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+      ] );
+  ]
