@@ -470,6 +470,22 @@ let bechamel () =
     tests;
   flush stdout
 
+(* ================= trace smoke ================= *)
+
+(* Fixed-configuration microbench under event tracing: the printed replay
+   digest must be identical across invocations (the CI determinism
+   check), and the exported JSON opens in chrome://tracing/Perfetto. *)
+let trace_smoke out =
+  let tr = Dipc_sim.Trace.create () in
+  let r = M.run ~warmup:5 ~iters:20 ~trace:tr ~same_cpu:true M.Sem in
+  let oc = open_out out in
+  Dipc_sim.Trace.write_chrome oc tr;
+  close_out oc;
+  Printf.printf "trace smoke: Sem (=CPU), 20 iterations, mean %.1f ns\n" r.M.mean_ns;
+  Printf.printf "trace events: %d\n" (Dipc_sim.Trace.total tr);
+  Printf.printf "trace digest: %s\n" (Dipc_sim.Trace.digest_hex tr);
+  Printf.printf "trace file: %s\n%!" out
+
 (* ================= driver ================= *)
 
 let experiments =
@@ -493,6 +509,8 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
+  | "--trace" :: rest ->
+      trace_smoke (match rest with out :: _ -> out | [] -> "trace.json")
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->
       List.iter

@@ -5,10 +5,12 @@
      dune exec bin/dipc_cli.exe -- ipc --primitive rpc
      dune exec bin/dipc_cli.exe -- oltp --config dipc --threads 16
      dune exec bin/dipc_cli.exe -- disasm --policy high
+     dune exec bin/dipc_cli.exe -- trace --primitive sem --out trace.json
 *)
 
 module Costs = Dipc_sim.Costs
 module Stats = Dipc_sim.Stats
+module Trace = Dipc_sim.Trace
 module Types = Dipc_core.Types
 module Scenario = Dipc_core.Scenario
 module Proxy = Dipc_core.Proxy
@@ -134,6 +136,46 @@ let oltp_cmd =
     (Cmd.info "oltp" ~doc:"run one cell of the Figure 8 macro-benchmark")
     Term.(const run_oltp $ config $ threads $ on_disk)
 
+(* --- trace: export a Chrome trace of a microbench run --- *)
+
+let run_trace primitive same_cpu bytes iters out =
+  let tr = Trace.create () in
+  let r = M.run ~bytes ~iters ~trace:tr ~same_cpu primitive in
+  let oc = open_out out in
+  Trace.write_chrome oc tr;
+  close_out oc;
+  Printf.printf "%s (%s), %d-byte argument, %d iterations:\n"
+    (M.primitive_name primitive)
+    (if same_cpu then "=CPU" else "!=CPU")
+    bytes iters;
+  Printf.printf "  mean %.1f ns per round trip\n" r.M.mean_ns;
+  Printf.printf "  %d events traced (%d retained, %d overwritten)\n"
+    (Trace.total tr)
+    (List.length (Trace.events tr))
+    (Trace.dropped tr);
+  Printf.printf "  replay digest %s\n" (Trace.digest_hex tr);
+  Printf.printf "  wrote %s (open in chrome://tracing or ui.perfetto.dev)\n" out
+
+let trace_cmd =
+  let primitive =
+    Arg.(
+      value
+      & opt primitive_conv M.Sem
+      & info [ "primitive" ] ~doc:"sem|pipe|l4|rpc|user-rpc")
+  in
+  let same_cpu =
+    Arg.(value & flag & info [ "same-cpu" ] ~doc:"pin both sides to one CPU")
+  in
+  let bytes = Arg.(value & opt int 1 & info [ "bytes" ] ~doc:"argument size") in
+  let iters = Arg.(value & opt int 50 & info [ "iters" ] ~doc:"round trips") in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out" ] ~doc:"output file")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"run a microbench under event tracing and export Chrome trace JSON")
+    Term.(const run_trace $ primitive $ same_cpu $ bytes $ iters $ out)
+
 (* --- disasm: show the generated proxy for a configuration --- *)
 
 let run_disasm policy cross =
@@ -175,4 +217,5 @@ let () =
     Cmd.info "dipc" ~version:"1.0.0"
       ~doc:"direct inter-process communication on a simulated CODOMs machine"
   in
-  exit (Cmd.eval (Cmd.group info [ call_cmd; ipc_cmd; oltp_cmd; disasm_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ call_cmd; ipc_cmd; oltp_cmd; disasm_cmd; trace_cmd ]))

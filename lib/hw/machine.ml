@@ -14,6 +14,7 @@
 
 module Costs = Dipc_sim.Costs
 module Breakdown = Dipc_sim.Breakdown
+module Trace = Dipc_sim.Trace
 
 let apl_cache_refill_cost = 250.0 (* exception + software cache refill *)
 
@@ -47,6 +48,7 @@ type t = {
   mutable on_syscall : (ctx -> int -> unit) option;
   mutable attr_of_tag : int -> Breakdown.category;
   mutable next_ctx_id : int;
+  mutable tracer : Trace.t;
 }
 
 exception Out_of_fuel
@@ -61,9 +63,12 @@ let create () =
     on_syscall = None;
     attr_of_tag = (fun _ -> Breakdown.User_code);
     next_ctx_id = 0;
+    tracer = Trace.null;
   }
 
 let set_syscall_handler m f = m.on_syscall <- Some f
+
+let set_trace m tracer = m.tracer <- tracer
 
 let set_attribution m f = m.attr_of_tag <- f
 
@@ -95,11 +100,18 @@ let new_ctx ?(dcs_capacity = Dcs.default_capacity) m ~pc ~sp_value =
 
 let charge m ctx ns =
   ctx.cost <- ctx.cost +. ns;
-  Breakdown.charge ctx.breakdown (m.attr_of_tag ctx.cur_tag) ns
+  let cat = m.attr_of_tag ctx.cur_tag in
+  Breakdown.charge ctx.breakdown cat ns;
+  if Trace.enabled m.tracer then
+    Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag ~cat ~dur:ns
+      Trace.Charge
 
-let charge_as _m ctx category ns =
+let charge_as m ctx category ns =
   ctx.cost <- ctx.cost +. ns;
-  Breakdown.charge ctx.breakdown category ns
+  Breakdown.charge ctx.breakdown category ns;
+  if Trace.enabled m.tracer then
+    Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag ~cat:category
+      ~dur:ns Trace.Charge
 
 (* --- capability validity (Sec. 4.2) --- *)
 
@@ -205,6 +217,9 @@ let check_transfer m ctx target =
         (* Call permission only enters through aligned entry points. *)
         if not aligned then Fault.raise_fault ~pc:target Fault.Not_entry_point
     | Perm.Nil -> Fault.raise_fault ~pc:target (Fault.No_permission Perm.Call));
+    if Trace.enabled m.tracer then
+      Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:new_tag ~arg:ctx.cur_tag
+        Trace.Domain_cross;
     (* The instruction pointer now originates from the new domain; its APL
        becomes the active one, via the per-thread APL cache. *)
     let _hw, hit = Apl_cache.ensure ctx.apl_cache new_tag in
@@ -282,7 +297,7 @@ let derive_from_apl m ctx ~pc ~base ~len ~perm =
 
 let word = Layout.word_size
 
-let step m ctx =
+let step_unlogged m ctx =
   if ctx.halted then `Halted
   else begin
     let pc = ctx.pc in
@@ -300,6 +315,9 @@ let step m ctx =
     | Isa.Halt -> ctx.halted <- true
     | Isa.Trap n -> Fault.raise_fault ~pc (Fault.Software_trap n)
     | Isa.Syscall n -> begin
+        if Trace.enabled m.tracer then
+          Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag ~arg:n
+            Trace.Syscall;
         charge_as m ctx Breakdown.Syscall_entry Costs.syscall_entry_exit;
         charge_as m ctx Breakdown.Dispatch Costs.syscall_dispatch;
         match m.on_syscall with
@@ -485,6 +503,14 @@ let step m ctx =
       end);
     if ctx.halted then `Halted else `Running
   end
+
+let step m ctx =
+  try step_unlogged m ctx
+  with Fault.Fault f as exn ->
+    if Trace.enabled m.tracer then
+      Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag
+        ~arg:f.Fault.pc Trace.Fault;
+    raise exn
 
 let run ?(fuel = 10_000_000) m ctx =
   let remaining = ref fuel in

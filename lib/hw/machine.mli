@@ -42,6 +42,7 @@ type t = {
   mutable on_syscall : (ctx -> int -> unit) option;
   mutable attr_of_tag : int -> Breakdown.category;
   mutable next_ctx_id : int;
+  mutable tracer : Dipc_sim.Trace.t;
 }
 
 exception Out_of_fuel
@@ -49,6 +50,11 @@ exception Out_of_fuel
 val create : unit -> t
 
 val set_syscall_handler : t -> (ctx -> int -> unit) -> unit
+
+(** Install a trace sink: instruction charges, domain crossings, syscalls
+    and faults are emitted into it (timestamped by the executing context's
+    accumulated cost).  Defaults to {!Dipc_sim.Trace.null}. *)
+val set_trace : t -> Dipc_sim.Trace.t -> unit
 
 (** Choose the Breakdown category instruction costs are attributed to,
     per executing domain tag. *)

@@ -20,15 +20,12 @@ type t = {
          real hardware does not sustain. *)
 }
 
-let seed_counter = ref 0
-
 let create kern ~value =
-  incr seed_counter;
   {
     kern;
     value;
     sleepers = Kernel.Sleepq.create ();
-    jitter = Dipc_sim.Rng.create ~seed:(0x5eed + !seed_counter);
+    jitter = Dipc_sim.Rng.create ~seed:(0x5eed + Kernel.fresh_jitter_seed kern);
   }
 
 let word t = t.value

@@ -14,6 +14,7 @@
 module Engine = Dipc_sim.Engine
 module Breakdown = Dipc_sim.Breakdown
 module Costs = Dipc_sim.Costs
+module Trace = Dipc_sim.Trace
 
 type process = {
   pid : int;
@@ -57,6 +58,10 @@ type t = {
   mutable next_tid : int;
   mutable next_aspace : int;
   quantum : float; (* preemption granularity for CPU-bound threads, ns *)
+  mutable next_jitter_seed : int;
+      (* Per-kernel stream for timing-jitter RNGs (futex path etc.): a
+         process-global counter here would leak state between runs and
+         break same-seed replay determinism. *)
   mutable wake_policy : [ `Affinity | `Least_loaded ];
       (* Where an unpinned thread wakes up: its last CPU (cache affinity,
          like CFS without active balancing — the source of the scheduler
@@ -86,8 +91,14 @@ let create engine ~ncpus =
     next_tid = 1;
     next_aspace = 1;
     quantum = 100_000.;
+    next_jitter_seed = 1;
     wake_policy = `Affinity;
   }
+
+let fresh_jitter_seed t =
+  let s = t.next_jitter_seed in
+  t.next_jitter_seed <- s + 1;
+  s
 
 let engine t = t.engine
 
@@ -129,7 +140,11 @@ let alloc_fd proc label =
 
 let charge t th category ns =
   Breakdown.charge th.bd category ns;
-  Breakdown.charge t.cpus.(th.cpu).cpu_bd category ns
+  Breakdown.charge t.cpus.(th.cpu).cpu_bd category ns;
+  let tr = Engine.tracer t.engine in
+  if Trace.enabled tr then
+    Trace.emit tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~cat:category ~dur:ns
+      Trace.Charge
 
 (* --- CPU token management --- *)
 
@@ -140,6 +155,10 @@ let end_idle t cpu =
       let d = now t -. since in
       cpu.idle_total <- cpu.idle_total +. d;
       Breakdown.charge cpu.cpu_bd Breakdown.Idle d;
+      let tr = Engine.tracer t.engine in
+      if Trace.enabled tr then
+        Trace.emit tr ~ts:(now t) ~cpu:cpu.cpu_id ~cat:Breakdown.Idle ~dur:d
+          Trace.Charge;
       cpu.idle_since <- None;
       d
   | None -> 0.
@@ -161,7 +180,11 @@ let switch_in t th ~idled =
     charge t th Breakdown.Schedule idle_cost;
     costs := !costs +. idle_cost
   end;
+  let tr = Engine.tracer t.engine in
   if cpu.last_tid <> th.tid && cpu.last_tid <> -1 then begin
+    if Trace.enabled tr then
+      Trace.emit tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~arg:cpu.last_tid
+        Trace.Ctxsw;
     charge t th Breakdown.Schedule Costs.context_switch;
     costs := !costs +. Costs.context_switch
   end;
@@ -173,6 +196,9 @@ let switch_in t th ~idled =
   cpu.last_aspace <- th.proc.aspace;
   if th.wake_ipi then begin
     th.wake_ipi <- false;
+    (* arg 0: the IPI is being handled on the receiving CPU. *)
+    if Trace.enabled tr then
+      Trace.emit tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~arg:0 Trace.Ipi;
     charge t th Breakdown.Kernel Costs.ipi_handle;
     costs := !costs +. Costs.ipi_handle
   end;
@@ -234,6 +260,9 @@ let consume t th category ns =
 (* Charge the syscall entry/exit + dispatch trampoline (Figure 2 blocks 2
    and 3). *)
 let syscall_overhead t th =
+  let tr = Engine.tracer t.engine in
+  if Trace.enabled tr then
+    Trace.emit tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid Trace.Syscall;
   consume t th Breakdown.Syscall_entry Costs.syscall_entry_exit;
   consume t th Breakdown.Dispatch Costs.syscall_dispatch
 
@@ -294,6 +323,11 @@ let wake_one t ~waker:waker_th (q : 'a Sleepq.q) (v : 'a) =
   | Some { Sleepq.sleeper; waker } ->
       if not sleeper.pinned then sleeper.cpu <- choose_cpu t sleeper;
       if sleeper.cpu <> waker_th.cpu then begin
+        (* arg: the woken thread's tid (the IPI's logical target). *)
+        let tr = Engine.tracer t.engine in
+        if Trace.enabled tr then
+          Trace.emit tr ~ts:(now t) ~cpu:waker_th.cpu ~tid:waker_th.tid
+            ~arg:sleeper.tid Trace.Ipi;
         charge t waker_th Breakdown.Kernel Costs.ipi_send;
         Engine.delay Costs.ipi_send;
         sleeper.wake_ipi <- true
@@ -379,6 +413,11 @@ let spawn ?(cpu = -1) ?(at = None) t proc ~name body =
     th.state <- `Done;
     release t th
   in
+  let tr = Engine.tracer t.engine in
+  if Trace.enabled tr then
+    Trace.emit tr
+      ~ts:(match at with None -> now t | Some at -> at)
+      ~cpu:th.cpu ~tid:th.tid ~arg:proc.pid Trace.Spawn;
   (match at with
   | None -> Engine.spawn t.engine wrapped
   | Some at -> Engine.spawn ~at t.engine wrapped);

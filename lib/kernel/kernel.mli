@@ -21,6 +21,12 @@ val engine : t -> Engine.t
 
 val ncpus : t -> int
 
+(** Next value of the per-kernel timing-jitter seed stream (futex path
+    and similar non-deterministic-latency models).  Keeping the counter
+    on the kernel — not a process global — is what makes same-seed runs
+    replay the identical event timeline. *)
+val fresh_jitter_seed : t -> int
+
 (** Current virtual time. *)
 val now : t -> float
 

@@ -17,6 +17,10 @@ val all_categories : category list
 
 val category_name : category -> string
 
+(** Stable dense index of a category, matching [all_categories] order
+    (used by flat trace storage and digests). *)
+val category_index : category -> int
+
 type t
 
 val create : unit -> t

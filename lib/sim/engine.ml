@@ -16,6 +16,7 @@ type t = {
   mutable live : int; (* threads spawned and not yet finished *)
   mutable steps : int;
   mutable step_limit : int;
+  mutable tracer : Trace.t;
 }
 
 type 'a waker = { mutable fired : bool; engine : t; deliver : 'a -> unit }
@@ -26,14 +27,26 @@ type _ Effect.t +=
   | Now : float Effect.t
 
 let create () =
-  { now = 0.; events = Heap.create (); live = 0; steps = 0; step_limit = max_int }
+  {
+    now = 0.;
+    events = Heap.create ();
+    live = 0;
+    steps = 0;
+    step_limit = max_int;
+    tracer = Trace.null;
+  }
 
 let set_step_limit t limit = t.step_limit <- limit
+
+let set_trace t tracer = t.tracer <- tracer
+
+let tracer t = t.tracer
 
 let now t = t.now
 
 let schedule t ~at f =
   let at = if at < t.now then t.now else at in
+  if Trace.enabled t.tracer then Trace.emit t.tracer ~ts:at Trace.Sched;
   Heap.push t.events ~time:at f
 
 (* Run [f] as a simulated thread under the effect handler. *)
@@ -56,12 +69,16 @@ let rec exec t f =
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  if Trace.enabled t.tracer then
+                    Trace.emit t.tracer ~ts:t.now Trace.Suspend;
                   let waker =
                     {
                       fired = false;
                       engine = t;
                       deliver =
                         (fun v ->
+                          if Trace.enabled t.tracer then
+                            Trace.emit t.tracer ~ts:t.now Trace.Resume;
                           schedule t ~at:t.now (fun () -> continue k v));
                     }
                   in
@@ -73,6 +90,7 @@ let rec exec t f =
 and spawn ?at t f =
   t.live <- t.live + 1;
   let at = match at with None -> t.now | Some at -> at in
+  if Trace.enabled t.tracer then Trace.emit t.tracer ~ts:at Trace.Spawn;
   schedule t ~at (fun () -> exec t f)
 
 (* --- operations available inside simulated threads --- *)

@@ -15,6 +15,14 @@ val create : unit -> t
 (** Abort [run] once this many events have fired (runaway protection). *)
 val set_step_limit : t -> int -> unit
 
+(** Install a trace sink: engine-level scheduling events (queue, spawn,
+    suspend, resume) are emitted into it, and layers above reach it via
+    {!tracer}.  Defaults to {!Trace.null} (tracing disabled). *)
+val set_trace : t -> Trace.t -> unit
+
+(** The installed trace sink ({!Trace.null} when tracing is off). *)
+val tracer : t -> Trace.t
+
 (** Current virtual time, in nanoseconds. *)
 val now : t -> float
 

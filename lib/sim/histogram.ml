@@ -23,6 +23,10 @@ let add t ns =
 
 let count t = t.total
 
+let merge ~into src =
+  Array.iteri (fun b c -> into.counts.(b) <- into.counts.(b) + c) src.counts;
+  into.total <- into.total + src.total
+
 let bucket_lower_bound b = 2. ** float_of_int b
 
 (* Approximate percentile: lower bound of the bucket containing rank p. *)

@@ -9,6 +9,9 @@ val add : t -> float -> unit
 
 val count : t -> int
 
+(** Accumulate [src]'s buckets into [into]; counts are preserved. *)
+val merge : into:t -> t -> unit
+
 (** Approximate percentile ([p] in 0..100): the lower bound of the bucket
     containing that rank. *)
 val percentile : t -> float -> float

@@ -1,0 +1,219 @@
+(* Structured event tracing with deterministic replay fingerprints.
+
+   Storage is struct-of-arrays: eight parallel flat arrays indexed by a
+   ring cursor, so recording an event allocates nothing and the GC never
+   sees the hot path.  The FNV-1a digest is folded over every emitted
+   event (not just the ones the ring still holds), so it fingerprints the
+   whole run even when the buffer wraps.
+
+   Floats enter the digest through their IEEE-754 bit patterns
+   (Int64.bits_of_float): equality of digests means bit-identical event
+   streams, not approximately-equal ones. *)
+
+type kind =
+  | Sched
+  | Spawn
+  | Resume
+  | Suspend
+  | Ctxsw
+  | Ipi
+  | Syscall
+  | Domain_cross
+  | Fault
+  | Charge
+
+let all_kinds =
+  [ Sched; Spawn; Resume; Suspend; Ctxsw; Ipi; Syscall; Domain_cross; Fault; Charge ]
+
+let kind_index = function
+  | Sched -> 0
+  | Spawn -> 1
+  | Resume -> 2
+  | Suspend -> 3
+  | Ctxsw -> 4
+  | Ipi -> 5
+  | Syscall -> 6
+  | Domain_cross -> 7
+  | Fault -> 8
+  | Charge -> 9
+
+let kind_name = function
+  | Sched -> "sched"
+  | Spawn -> "spawn"
+  | Resume -> "resume"
+  | Suspend -> "suspend"
+  | Ctxsw -> "ctxsw"
+  | Ipi -> "ipi"
+  | Syscall -> "syscall"
+  | Domain_cross -> "domain-cross"
+  | Fault -> "fault"
+  | Charge -> "charge"
+
+let kind_of_index i = List.nth all_kinds i
+
+type event = {
+  e_ts : float;
+  e_kind : kind;
+  e_cpu : int;
+  e_tid : int;
+  e_tag : int;
+  e_cat : Breakdown.category option;
+  e_dur : float;
+  e_arg : int;
+}
+
+type t = {
+  on : bool;
+  cap : int;
+  ts : float array;
+  kinds : int array;
+  cpus : int array;
+  tids : int array;
+  tags : int array;
+  cats : int array; (* Breakdown.category_index, -1 for none *)
+  durs : float array;
+  args : int array;
+  mutable head : int; (* next write slot *)
+  mutable len : int; (* valid entries, <= cap *)
+  mutable count : int; (* lifetime emits *)
+  mutable hash : int64; (* streaming FNV-1a over all emits *)
+}
+
+(* FNV-1a, 64-bit. *)
+let fnv_offset = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+let mix64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+let make ~on ~capacity =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    on;
+    cap = capacity;
+    ts = Array.make capacity 0.;
+    kinds = Array.make capacity 0;
+    cpus = Array.make capacity (-1);
+    tids = Array.make capacity (-1);
+    tags = Array.make capacity (-1);
+    cats = Array.make capacity (-1);
+    durs = Array.make capacity 0.;
+    args = Array.make capacity 0;
+    head = 0;
+    len = 0;
+    count = 0;
+    hash = fnv_offset;
+  }
+
+let null = make ~on:false ~capacity:1
+
+let create ?(capacity = 65536) () = make ~on:true ~capacity
+
+let enabled t = t.on
+
+let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) kind =
+  if t.on then begin
+    let ci = match cat with None -> -1 | Some c -> Breakdown.category_index c in
+    let ki = kind_index kind in
+    let h = mix64 t.hash (Int64.bits_of_float ts) in
+    let h = mix64 h (Int64.of_int ki) in
+    let h = mix64 h (Int64.of_int cpu) in
+    let h = mix64 h (Int64.of_int tid) in
+    let h = mix64 h (Int64.of_int tag) in
+    let h = mix64 h (Int64.of_int ci) in
+    let h = mix64 h (Int64.bits_of_float dur) in
+    let h = mix64 h (Int64.of_int arg) in
+    t.hash <- h;
+    let i = t.head in
+    t.ts.(i) <- ts;
+    t.kinds.(i) <- ki;
+    t.cpus.(i) <- cpu;
+    t.tids.(i) <- tid;
+    t.tags.(i) <- tag;
+    t.cats.(i) <- ci;
+    t.durs.(i) <- dur;
+    t.args.(i) <- arg;
+    t.head <- (i + 1) mod t.cap;
+    if t.len < t.cap then t.len <- t.len + 1;
+    t.count <- t.count + 1
+  end
+
+let total t = t.count
+
+let dropped t = t.count - t.len
+
+let digest t = t.hash
+
+let digest_hex t = Printf.sprintf "%016Lx" t.hash
+
+let nth_event t j =
+  let i = (t.head - t.len + j + t.cap + t.cap) mod t.cap in
+  {
+    e_ts = t.ts.(i);
+    e_kind = kind_of_index t.kinds.(i);
+    e_cpu = t.cpus.(i);
+    e_tid = t.tids.(i);
+    e_tag = t.tags.(i);
+    e_cat =
+      (if t.cats.(i) < 0 then None
+       else Some (List.nth Breakdown.all_categories t.cats.(i)));
+    e_dur = t.durs.(i);
+    e_arg = t.args.(i);
+  }
+
+let events t = List.init t.len (nth_event t)
+
+(* --- Chrome trace_event export --- *)
+
+(* chrome://tracing timestamps are microseconds; we keep sub-ns precision
+   with six fractional digits. *)
+let us ns = ns /. 1000.
+
+let add_chrome_event buf ev ~first =
+  if not first then Buffer.add_string buf ",\n";
+  let name =
+    match (ev.e_kind, ev.e_cat) with
+    | Charge, Some c -> Breakdown.category_name c
+    | k, _ -> kind_name k
+  in
+  let pid = if ev.e_cpu < 0 then 0 else ev.e_cpu in
+  let tid = if ev.e_tid < 0 then 0 else ev.e_tid in
+  (match ev.e_kind with
+  | Charge ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"name":"%s","cat":"%s","ph":"X","ts":%.6f,"dur":%.6f,"pid":%d,"tid":%d,"args":{"tag":%d,"arg":%d}}|}
+           name (kind_name ev.e_kind) (us ev.e_ts) (us ev.e_dur) pid tid ev.e_tag
+           ev.e_arg)
+  | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%.6f,"pid":%d,"tid":%d,"args":{"tag":%d,"arg":%d}}|}
+           name (kind_name ev.e_kind) (us ev.e_ts) pid tid ev.e_tag ev.e_arg))
+
+let to_chrome_string t =
+  let buf = Buffer.create (256 * (t.len + 2)) in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  for j = 0 to t.len - 1 do
+    add_chrome_event buf (nth_event t j) ~first:(j = 0)
+  done;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents buf
+
+let write_chrome oc t = output_string oc (to_chrome_string t)
+
+let pp_event ppf ev =
+  Fmt.pf ppf "%.1fns %s cpu=%d tid=%d tag=%d%a%a arg=%d" ev.e_ts
+    (kind_name ev.e_kind) ev.e_cpu ev.e_tid ev.e_tag
+    (fun ppf -> function
+      | None -> ()
+      | Some c -> Fmt.pf ppf " cat=%s" (Breakdown.category_name c))
+    ev.e_cat
+    (fun ppf d -> if d > 0. then Fmt.pf ppf " dur=%.1f" d)
+    ev.e_dur ev.e_arg

@@ -1,0 +1,90 @@
+(** Structured event tracing with deterministic replay fingerprints.
+
+    A trace is a fixed-capacity ring buffer of flat event records plus a
+    streaming FNV-1a digest over the {e entire} event stream (including
+    events the ring has already overwritten).  Two runs with the same RNG
+    seeds produce byte-identical event streams and therefore identical
+    digests, which makes the digest a replay fingerprint the determinism
+    regression tests can assert on.
+
+    Tracing is strictly observational: emitting events never advances
+    simulated time, so enabling a trace must not change any simulated
+    result.  The disabled sink {!null} makes every [emit] a single load
+    and branch, with no allocation — hot paths guard with {!enabled}
+    before building optional arguments. *)
+
+type kind =
+  | Sched  (** a raw engine event was queued *)
+  | Spawn  (** a simulated thread was created *)
+  | Resume  (** a suspended thread's waker fired *)
+  | Suspend  (** a thread parked on a waker *)
+  | Ctxsw  (** a CPU switched to a different thread *)
+  | Ipi  (** inter-processor interrupt sent ([arg] = target tid) or handled *)
+  | Syscall  (** syscall entry/dispatch overhead charged *)
+  | Domain_cross  (** CODOMs domain switch ([tag] = new, [arg] = old) *)
+  | Fault  (** a protection fault was raised ([arg] = faulting pc) *)
+  | Charge  (** [dur] nanoseconds charged to category [cat] *)
+
+val kind_name : kind -> string
+
+(** A materialised event record (the ring itself stores flat arrays).
+    Missing fields are [-1] (ints) / [None] (category) / [0.] ([dur]). *)
+type event = {
+  e_ts : float;  (** simulated time, ns *)
+  e_kind : kind;
+  e_cpu : int;
+  e_tid : int;
+  e_tag : int;  (** CODOMs domain tag, where known *)
+  e_cat : Breakdown.category option;
+  e_dur : float;  (** duration charged, ns ([Charge] events) *)
+  e_arg : int;  (** kind-specific extra payload *)
+}
+
+type t
+
+(** The always-disabled sink: emitting into it is a no-op. *)
+val null : t
+
+(** An enabled trace keeping the last [capacity] events (default 65536). *)
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Record one event.  No-op on a disabled sink. *)
+val emit :
+  t ->
+  ts:float ->
+  ?cpu:int ->
+  ?tid:int ->
+  ?tag:int ->
+  ?cat:Breakdown.category ->
+  ?dur:float ->
+  ?arg:int ->
+  kind ->
+  unit
+
+(** Events still held in the ring, oldest first. *)
+val events : t -> event list
+
+(** Number of events emitted over the trace's lifetime. *)
+val total : t -> int
+
+(** Events overwritten by ring wrap-around (still digested). *)
+val dropped : t -> int
+
+(** Streaming FNV-1a digest of every event emitted so far. *)
+val digest : t -> int64
+
+(** The digest as a 16-hex-digit replay fingerprint. *)
+val digest_hex : t -> string
+
+(** The retained events as Chrome [trace_event] JSON (a complete
+    [{"traceEvents": [...]}] object loadable in [chrome://tracing] or
+    Perfetto).  [Charge] events become complete ("X") slices, everything
+    else instants; [pid] carries the CPU, [tid] the thread. *)
+val to_chrome_string : t -> string
+
+(** Write {!to_chrome_string} to a channel. *)
+val write_chrome : out_channel -> t -> unit
+
+val pp_event : Format.formatter -> event -> unit

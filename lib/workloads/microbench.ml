@@ -45,8 +45,9 @@ let consume_payload kern th bytes =
 (* Run [iters] warm round trips of [primitive] and return per-round-trip
    means.  [same_cpu] pins client and server to CPU 0, otherwise they sit
    on CPUs 0 and 1. *)
-let run ?(bytes = 1) ?(warmup = 20) ?(iters = 200) ~same_cpu primitive =
+let run ?(bytes = 1) ?(warmup = 20) ?(iters = 200) ?trace ~same_cpu primitive =
   let engine = Engine.create () in
+  (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
   let kern = Kernel.create engine ~ncpus:2 in
   let client_proc = Kernel.create_process kern ~name:"client" in
   let server_proc = Kernel.create_process kern ~name:"server" in

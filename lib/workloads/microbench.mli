@@ -16,9 +16,16 @@ val primitive_name : primitive -> string
 
 (** Measure [iters] warm round trips with a [bytes]-sized argument;
     [same_cpu] pins both sides to CPU 0, otherwise they run on CPUs 0
-    and 1. *)
+    and 1.  [trace] installs a structured event trace sink on the run's
+    engine (observational only: results are identical with and without). *)
 val run :
-  ?bytes:int -> ?warmup:int -> ?iters:int -> same_cpu:bool -> primitive -> result
+  ?bytes:int ->
+  ?warmup:int ->
+  ?iters:int ->
+  ?trace:Dipc_sim.Trace.t ->
+  same_cpu:bool ->
+  primitive ->
+  result
 
 val function_call_ns : float
 

@@ -46,9 +46,14 @@ type result = {
 }
 
 (** Run one cell of the Figure 8 matrix.  [params_override] replaces the
-    calibrated defaults (shorter durations for tests). *)
+    calibrated defaults (shorter durations for tests).  [seed] drives
+    every RNG stream in the run (default 41, the calibrated legacy
+    streams): equal seeds replay the identical event timeline.  [trace]
+    installs a structured event trace sink on the run's engine. *)
 val run :
   ?params_override:params option ->
+  ?seed:int ->
+  ?trace:Dipc_sim.Trace.t ->
   config:config ->
   db_mode:db_mode ->
   threads:int ->

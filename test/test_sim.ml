@@ -172,6 +172,66 @@ let test_breakdown_figure2_folding () =
   check_float "proxy cleared" 0. (Breakdown.get f Breakdown.Proxy);
   check_float "total preserved" (Breakdown.total b) (Breakdown.total f)
 
+(* A breakdown built from an arbitrary list of (category, ns) charges. *)
+let breakdown_of charges =
+  let b = Breakdown.create () in
+  List.iter
+    (fun (i, ns) -> Breakdown.charge b (List.nth Breakdown.all_categories i) ns)
+    charges;
+  b
+
+let charges_gen =
+  QCheck.(list_of_size Gen.(0 -- 30) (pair (int_range 0 8) (float_bound_exclusive 1e9)))
+
+let breakdown_close a b =
+  List.for_all
+    (fun c ->
+      let x = Breakdown.get a c and y = Breakdown.get b c in
+      Float.abs (x -. y) <= 1e-6 *. (1. +. Float.abs x))
+    Breakdown.all_categories
+
+let prop_breakdown_merge_commutative =
+  QCheck.Test.make ~name:"breakdown merge is commutative" ~count:200
+    QCheck.(pair charges_gen charges_gen)
+    (fun (xs, ys) ->
+      let ab = breakdown_of xs and ba = breakdown_of ys in
+      Breakdown.merge ~into:ab (breakdown_of ys);
+      Breakdown.merge ~into:ba (breakdown_of xs);
+      breakdown_close ab ba)
+
+let prop_breakdown_merge_associative =
+  QCheck.Test.make ~name:"breakdown merge is associative" ~count:200
+    QCheck.(triple charges_gen charges_gen charges_gen)
+    (fun (xs, ys, zs) ->
+      (* (a + b) + c *)
+      let left = breakdown_of xs in
+      Breakdown.merge ~into:left (breakdown_of ys);
+      Breakdown.merge ~into:left (breakdown_of zs);
+      (* a + (b + c) *)
+      let bc = breakdown_of ys in
+      Breakdown.merge ~into:bc (breakdown_of zs);
+      let right = breakdown_of xs in
+      Breakdown.merge ~into:right bc;
+      breakdown_close left right)
+
+let prop_breakdown_scale_identity =
+  QCheck.Test.make ~name:"breakdown scale 1.0 is the identity" ~count:200
+    charges_gen
+    (fun xs ->
+      let b = breakdown_of xs in
+      breakdown_close b (Breakdown.scale b 1.0))
+
+let prop_breakdown_total_is_sum =
+  QCheck.Test.make ~name:"breakdown total = sum of get over all categories"
+    ~count:200 charges_gen
+    (fun xs ->
+      let b = breakdown_of xs in
+      let sum =
+        List.fold_left (fun acc c -> acc +. Breakdown.get b c) 0.
+          Breakdown.all_categories
+      in
+      Float.abs (Breakdown.total b -. sum) <= 1e-6 *. (1. +. Float.abs sum))
+
 (* --- memcost --- *)
 
 let test_memcost_monotone () =
@@ -281,6 +341,41 @@ let test_histogram () =
   Alcotest.(check bool) "p50 small" true (Histogram.percentile h 50. <= 4.);
   Alcotest.(check bool) "p99 large" true (Histogram.percentile h 99. >= 65536.)
 
+let samples_gen =
+  QCheck.(list_of_size Gen.(0 -- 100) (float_bound_exclusive 1e9))
+
+let histogram_of xs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) xs;
+  h
+
+let prop_histogram_quantiles_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone in p" ~count:200
+    QCheck.(triple samples_gen (float_range 0. 100.) (float_range 0. 100.))
+    (fun (xs, p1, p2) ->
+      let h = histogram_of xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Histogram.percentile h lo <= Histogram.percentile h hi)
+
+let prop_histogram_merge_preserves_count =
+  QCheck.Test.make ~name:"histogram merge preserves count" ~count:200
+    QCheck.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let a = histogram_of xs in
+      Histogram.merge ~into:a (histogram_of ys);
+      Histogram.count a = List.length xs + List.length ys)
+
+let prop_histogram_merge_equals_union =
+  QCheck.Test.make ~name:"histogram merge = histogram of concatenation" ~count:200
+    QCheck.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let a = histogram_of xs in
+      Histogram.merge ~into:a (histogram_of ys);
+      let u = histogram_of (xs @ ys) in
+      List.for_all
+        (fun p -> Histogram.percentile a p = Histogram.percentile u p)
+        [ 0.; 10.; 50.; 90.; 99.; 100. ])
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suites =
@@ -311,7 +406,14 @@ let suites =
         Alcotest.test_case "charge/total" `Quick test_breakdown_charge;
         Alcotest.test_case "merge/scale" `Quick test_breakdown_merge_scale;
         Alcotest.test_case "figure2 folding" `Quick test_breakdown_figure2_folding;
-      ] );
+      ]
+      @ qsuite
+          [
+            prop_breakdown_merge_commutative;
+            prop_breakdown_merge_associative;
+            prop_breakdown_scale_identity;
+            prop_breakdown_total_is_sum;
+          ] );
     ( "sim.memcost",
       [
         Alcotest.test_case "monotone" `Quick test_memcost_monotone;
@@ -327,5 +429,11 @@ let suites =
         Alcotest.test_case "run_until" `Quick test_engine_run_until;
         Alcotest.test_case "waitq fifo" `Quick test_waitq_fifo;
         Alcotest.test_case "histogram" `Quick test_histogram;
-      ] );
+      ]
+      @ qsuite
+          [
+            prop_histogram_quantiles_monotone;
+            prop_histogram_merge_preserves_count;
+            prop_histogram_merge_equals_union;
+          ] );
   ]
