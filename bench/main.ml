@@ -470,6 +470,235 @@ let bechamel () =
     tests;
   flush stdout
 
+(* ================= fixed-seed benchmark suite (--json) ================= *)
+
+(* `--json FILE` runs a fixed-seed suite spanning every hot layer of the
+   substrate (raw machine interpreter, event engine, kernel microbenches,
+   end-to-end OLTP) and writes a machine-readable BENCH_*.json (schema
+   dipc-bench/v1, documented in EXPERIMENTS.md).  The suite is the
+   regression anchor for wall-clock performance: CI compares its golden
+   replay digest against the committed baseline and enforces a generous
+   wall-clock budget, so the substrate can be optimized aggressively as
+   long as the simulated timeline stays bit-identical. *)
+
+module Trace = Dipc_sim.Trace
+module Engine = Dipc_sim.Engine
+module Machine = Dipc_hw.Machine
+module Page_table = Dipc_hw.Page_table
+module Apl = Dipc_hw.Apl
+module Isa = Dipc_hw.Isa
+
+type bench_result = {
+  b_name : string;
+  b_wall_s : float;  (* host seconds for the experiment *)
+  b_sim_ns : float;  (* simulated nanoseconds covered *)
+  b_events : int;  (* trace events (traced runs) or raw steps *)
+  b_digest : string;  (* replay digest / deterministic state summary *)
+  b_metric_name : string;
+  b_metric : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The exact configuration of test_trace's golden digest: Sem, same CPU,
+   warmup 5, 20 measured iterations.  Its digest is the suite's
+   acceptance gate. *)
+let bench_golden () =
+  let (tr, r), wall =
+    timed (fun () ->
+        let tr = Trace.create () in
+        let r = M.run ~warmup:5 ~iters:20 ~trace:tr ~same_cpu:true M.Sem in
+        (tr, r))
+  in
+  {
+    b_name = "golden_sem_same";
+    b_wall_s = wall;
+    b_sim_ns = r.M.mean_ns *. 20.;
+    b_events = Trace.total tr;
+    b_digest = Trace.digest_hex tr;
+    b_metric_name = "mean_ns";
+    b_metric = r.M.mean_ns;
+  }
+
+let bench_micro name prim ~same_cpu =
+  let (tr, r), wall =
+    timed (fun () ->
+        let tr = Trace.create () in
+        let r = M.run ~trace:tr ~same_cpu prim in
+        (tr, r))
+  in
+  {
+    b_name = name;
+    b_wall_s = wall;
+    b_sim_ns = r.M.mean_ns *. 200.;
+    b_events = Trace.total tr;
+    b_digest = Trace.digest_hex tr;
+    b_metric_name = "mean_ns";
+    b_metric = r.M.mean_ns;
+  }
+
+let bench_oltp name config =
+  let (tr, r), wall =
+    timed (fun () ->
+        let tr = Trace.create () in
+        let r = O.run ~trace:tr ~config ~db_mode:O.In_memory ~threads:96 () in
+        (tr, r))
+  in
+  let p = O.default_params ~db_mode:O.In_memory ~threads:96 in
+  {
+    b_name = name;
+    b_wall_s = wall;
+    b_sim_ns = p.O.warmup +. p.O.duration;
+    b_events = Trace.total tr;
+    b_digest = Trace.digest_hex tr;
+    b_metric_name = "throughput_opm";
+    b_metric = r.O.r_throughput_opm;
+  }
+
+(* Raw interpreter hot loop: straight-line fetch/load/store on one domain,
+   no tracing — measures the machine/memory substrate alone. *)
+let hotloop_iters = 400_000
+
+let bench_machine_hotloop () =
+  let (ctx, final_word), wall =
+    timed (fun () ->
+        let m = Machine.create () in
+        let tag = Apl.fresh_tag m.Machine.apl in
+        let code = 0x100000 and data = 0x200000 in
+        Page_table.map m.Machine.page_table ~addr:code ~count:1 ~tag
+          ~writable:false ~executable:true ();
+        Page_table.map m.Machine.page_table ~addr:data ~count:4 ~tag ();
+        let loop = code + (3 * Isa.instr_bytes) in
+        ignore
+          (Dipc_hw.Memory.place_code m.Machine.mem ~addr:code
+             [
+               Isa.Const (1, data);
+               Isa.Const (2, 0);
+               Isa.Const (3, hotloop_iters);
+               (* loop: *)
+               Isa.Load (4, 1, 0);
+               Isa.Addi (4, 4, 1);
+               Isa.Store (1, 8, 4);
+               Isa.Load (5, 1, 8);
+               Isa.Store (1, 0, 5);
+               Isa.Addi (2, 2, 1);
+               Isa.Blt (2, 3, loop);
+               Isa.Halt;
+             ]);
+        let ctx = Machine.new_ctx m ~pc:code ~sp_value:(data + (4 * 4096)) in
+        Machine.run ~fuel:((hotloop_iters * 8) + 100) m ctx;
+        (ctx, Machine.peek_word m ~addr:data))
+  in
+  {
+    b_name = "machine_hotloop";
+    b_wall_s = wall;
+    b_sim_ns = ctx.Machine.cost;
+    b_events = ctx.Machine.instret;
+    b_digest =
+      Printf.sprintf "instret=%d cost=%.0f mem=%d" ctx.Machine.instret
+        ctx.Machine.cost final_word;
+    b_metric_name = "minstr_per_s";
+    b_metric = float_of_int ctx.Machine.instret /. wall /. 1e6;
+  }
+
+(* Event-engine churn: many threads hammering the timer heap, no tracing —
+   measures the engine/heap substrate alone. *)
+let bench_engine_timerstorm () =
+  let (now, steps, acc), wall =
+    timed (fun () ->
+        let e = Engine.create () in
+        let acc = ref 0 in
+        for i = 0 to 49 do
+          Engine.spawn e (fun () ->
+              for _ = 1 to 10_000 do
+                Engine.delay (float_of_int (1 + (i mod 7)));
+                incr acc
+              done)
+        done;
+        Engine.run e;
+        (Engine.now e, Engine.steps e, !acc))
+  in
+  {
+    b_name = "engine_timerstorm";
+    b_wall_s = wall;
+    b_sim_ns = now;
+    b_events = steps;
+    b_digest = Printf.sprintf "now=%.0f steps=%d acc=%d" now steps acc;
+    b_metric_name = "events_per_s";
+    b_metric = float_of_int steps /. wall;
+  }
+
+let bench_suite () =
+  [
+    bench_golden ();
+    bench_micro "sem_same" M.Sem ~same_cpu:true;
+    bench_micro "sem_diff" M.Sem ~same_cpu:false;
+    bench_micro "pipe_same" M.Pipe ~same_cpu:true;
+    bench_micro "pipe_diff" M.Pipe ~same_cpu:false;
+    bench_micro "l4_same" M.L4 ~same_cpu:true;
+    bench_micro "rpc_same" M.Local_rpc ~same_cpu:true;
+    bench_micro "rpc_diff" M.Local_rpc ~same_cpu:false;
+    bench_oltp "oltp_linux_mem96" O.Linux;
+    bench_oltp "oltp_dipc_mem96" O.Dipc;
+    bench_oltp "oltp_ideal_mem96" O.Ideal;
+    bench_machine_hotloop ();
+    bench_engine_timerstorm ();
+  ]
+
+let write_bench_json out results =
+  let total_wall = List.fold_left (fun a r -> a +. r.b_wall_s) 0. results in
+  let total_events = List.fold_left (fun a r -> a + r.b_events) 0 results in
+  let golden =
+    match List.find_opt (fun r -> r.b_name = "golden_sem_same") results with
+    | Some r -> r.b_digest
+    | None -> ""
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"dipc-bench/v1\",\n";
+  Printf.fprintf oc "  \"suite\": \"fixed-seed-v1\",\n";
+  Printf.fprintf oc "  \"ocaml_version\": \"%s\",\n" Sys.ocaml_version;
+  Printf.fprintf oc "  \"golden_digest\": \"%s\",\n" golden;
+  Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" total_wall;
+  Printf.fprintf oc "  \"total_events\": %d,\n" total_events;
+  Printf.fprintf oc "  \"events_per_sec\": %.1f,\n"
+    (float_of_int total_events /. total_wall);
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"sim_ns\": %.3f, \
+         \"events\": %d, \"events_per_sec\": %.1f, \"digest\": \"%s\", \
+         \"metric_name\": \"%s\", \"metric\": %.6f}%s\n"
+        r.b_name r.b_wall_s r.b_sim_ns r.b_events
+        (float_of_int r.b_events /. r.b_wall_s)
+        r.b_digest r.b_metric_name r.b_metric
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let bench_json out =
+  header "Fixed-seed benchmark suite (machine-readable)";
+  let results = bench_suite () in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-20s %8.3f s  %9d events  %12.0f ev/s  %s=%.1f\n"
+        r.b_name r.b_wall_s r.b_events
+        (float_of_int r.b_events /. r.b_wall_s)
+        r.b_metric_name r.b_metric)
+    results;
+  let total_wall = List.fold_left (fun a r -> a +. r.b_wall_s) 0. results in
+  Printf.printf "  total wall: %.3f s\n" total_wall;
+  (match List.find_opt (fun r -> r.b_name = "golden_sem_same") results with
+  | Some r -> Printf.printf "  golden digest: %s\n" r.b_digest
+  | None -> ());
+  write_bench_json out results;
+  Printf.printf "  wrote %s\n%!" out
+
 (* ================= trace smoke ================= *)
 
 (* Fixed-configuration microbench under event tracing: the printed replay
@@ -511,6 +740,8 @@ let () =
   match args with
   | "--trace" :: rest ->
       trace_smoke (match rest with out :: _ -> out | [] -> "trace.json")
+  | "--json" :: rest ->
+      bench_json (match rest with out :: _ -> out | [] -> "BENCH_fixed_seed.json")
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->
       List.iter

@@ -12,7 +12,14 @@
    strict mode (fault on miss, as real hardware would) and an auto-fill
    mode that charges a refill cost, which is what the paper's evaluation
    assumes ("this event never happens on the presented benchmarks",
-   Sec. 7.5). *)
+   Sec. 7.5).
+
+   [lookup] is the hot path (it runs on every domain crossing): a
+   tag -> slot index makes it O(1) instead of a full-array scan with
+   polymorphic compares.  [install] keeps the original LRU victim scan —
+   refills are the cold path — and maintains the index invariant: every
+   resident tag maps to the smallest hardware slot holding it, which is
+   exactly what the old first-match scan returned. *)
 
 let capacity = 32
 
@@ -20,6 +27,7 @@ type entry = { mutable tag : int; mutable last_use : int }
 
 type t = {
   entries : entry array; (* index = hardware domain tag *)
+  index : (int, int) Hashtbl.t; (* tag -> smallest slot holding it *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -29,6 +37,7 @@ type t = {
 let create () =
   {
     entries = Array.init capacity (fun _ -> { tag = -1; last_use = 0 });
+    index = Hashtbl.create capacity;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -41,7 +50,12 @@ let reset t =
       e.tag <- -1;
       e.last_use <- 0)
     t.entries;
-  t.clock <- 0
+  Hashtbl.reset t.index;
+  t.clock <- 0;
+  (* Statistics must not bleed across scenario runs that reuse a machine. *)
+  t.hits <- 0;
+  t.misses <- 0;
+  t.refills <- 0
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -49,16 +63,14 @@ let tick t =
 
 (* Hardware tag of [tag] if cached. *)
 let lookup t tag =
-  let found = ref None in
-  Array.iteri
-    (fun i e -> if e.tag = tag && !found = None then found := Some i)
-    t.entries;
-  (match !found with
+  match Hashtbl.find_opt t.index tag with
   | Some i ->
       t.hits <- t.hits + 1;
-      t.entries.(i).last_use <- tick t
-  | None -> t.misses <- t.misses + 1);
-  !found
+      t.entries.(i).last_use <- tick t;
+      Some i
+  | None ->
+      t.misses <- t.misses + 1;
+      None
 
 (* Install [tag], evicting the least-recently-used entry; returns the
    hardware tag it landed on. *)
@@ -74,9 +86,30 @@ let install t tag =
       then victim := i)
     t.entries;
   let e = t.entries.(!victim) in
+  let old_tag = e.tag in
   e.tag <- tag;
   e.last_use <- tick t;
   t.refills <- t.refills + 1;
+  (* Index upkeep for the evicted tag: if it was indexed at the victim
+     slot, drop it and re-point at the smallest remaining duplicate (a
+     duplicate can only exist if a caller installed a resident tag). *)
+  (if old_tag >= 0 && old_tag <> tag then
+     match Hashtbl.find_opt t.index old_tag with
+     | Some s when s = !victim -> begin
+         Hashtbl.remove t.index old_tag;
+         try
+           for i = 0 to capacity - 1 do
+             if t.entries.(i).tag = old_tag then begin
+               Hashtbl.replace t.index old_tag i;
+               raise Exit
+             end
+           done
+         with Exit -> ()
+       end
+     | _ -> ());
+  (match Hashtbl.find_opt t.index tag with
+  | Some s when s < !victim -> ()
+  | _ -> Hashtbl.replace t.index tag !victim);
   !victim
 
 (* Lookup-or-install used by the machine in auto-fill mode. *)

@@ -49,9 +49,23 @@ type t = {
   mutable attr_of_tag : int -> Breakdown.category;
   mutable next_ctx_id : int;
   mutable tracer : Trace.t;
+  mutable tlb_page : int; (* one-entry translation cache *)
+  mutable tlb_gen : int;
+  mutable tlb_entry : Page_table.page;
 }
 
 exception Out_of_fuel
+
+(* Never returned: [tlb_page] starts at -1, which no address maps to. *)
+let tlb_dummy : Page_table.page =
+  {
+    Page_table.tag = -1;
+    readable = false;
+    writable = false;
+    executable = false;
+    priv_cap = false;
+    cap_store = false;
+  }
 
 let create () =
   {
@@ -64,7 +78,26 @@ let create () =
     attr_of_tag = (fun _ -> Breakdown.User_code);
     next_ctx_id = 0;
     tracer = Trace.null;
+    tlb_page = -1;
+    tlb_gen = -1;
+    tlb_entry = tlb_dummy;
   }
+
+(* Page-table lookup through the one-entry translation cache: straight-line
+   fetch/load/store into a warm page skips the page-table Hashtbl.  Entries
+   are invalidated by the table's generation counter (map/unmap); in-place
+   page mutation is observed through the shared record. *)
+let find_page m ~pc addr =
+  let page = Layout.page_of addr in
+  if page = m.tlb_page && Page_table.generation m.page_table = m.tlb_gen then
+    m.tlb_entry
+  else begin
+    let entry = Page_table.find_exn m.page_table ~pc addr in
+    m.tlb_page <- page;
+    m.tlb_gen <- Page_table.generation m.page_table;
+    m.tlb_entry <- entry;
+    entry
+  end
 
 let set_syscall_handler m f = m.on_syscall <- Some f
 
@@ -134,7 +167,7 @@ let page_allows (page : Page_table.page) (perm : Perm.t) =
    accesses are satisfied by the APL of the current domain or by any of the
    8 capability registers (Sec. 4.2). *)
 let check_data m ctx ~addr ~len ~perm =
-  let page = Page_table.find_exn m.page_table ~pc:ctx.pc addr in
+  let page = find_page m ~pc:ctx.pc addr in
   if page.cap_store then
     Fault.raise_fault ~pc:ctx.pc ~addr
       (Fault.Cap_storage "regular access to a capability-storage page");
@@ -165,7 +198,7 @@ let check_data m ctx ~addr ~len ~perm =
   end
 
 let check_cap_page m ctx ~addr ~perm =
-  let page = Page_table.find_exn m.page_table ~pc:ctx.pc addr in
+  let page = find_page m ~pc:ctx.pc addr in
   if not page.cap_store then
     Fault.raise_fault ~pc:ctx.pc ~addr
       (Fault.Cap_storage "capability access to a regular page");
@@ -196,7 +229,7 @@ let check_cap_page m ctx ~addr ~perm =
 (* Called at fetch whenever the pc lands on a different page than the last
    executed instruction.  [ctx.cur_tag] is still the *source* domain. *)
 let check_transfer m ctx target =
-  let page = Page_table.find_exn m.page_table ~pc:target target in
+  let page = find_page m ~pc:target target in
   if not page.executable then Fault.raise_fault ~pc:target Fault.Exec_violation;
   let new_tag = page.tag in
   if new_tag <> ctx.cur_tag && ctx.cur_tag <> -1 then begin
@@ -279,7 +312,7 @@ let derive_from_apl m ctx ~pc ~base ~len ~perm =
   let first = Layout.page_of base and last = Layout.page_of (base + len - 1) in
   for p = first to last do
     let addr = p * Layout.page_size in
-    let page = Page_table.find_exn m.page_table ~pc addr in
+    let page = find_page m ~pc addr in
     let granted = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
     if not (Perm.includes granted perm) then
       Fault.raise_fault ~pc ~addr (Fault.No_permission perm)
@@ -527,7 +560,7 @@ let run ?(fuel = 10_000_000) m ctx =
    (fault unwinding, Sec. 5.2.1) — no APL checks apply, the kernel is the
    most privileged agent in the system. *)
 let force_transfer m ctx ~target =
-  let page = Page_table.find_exn m.page_table ~pc:target target in
+  let page = find_page m ~pc:target target in
   ctx.pc <- target;
   ctx.cur_tag <- page.tag;
   ctx.cur_page <- Layout.page_of target;

@@ -43,6 +43,10 @@ type t = {
   mutable attr_of_tag : int -> Breakdown.category;
   mutable next_ctx_id : int;
   mutable tracer : Dipc_sim.Trace.t;
+  mutable tlb_page : int;
+      (** one-entry translation cache: last page number looked up *)
+  mutable tlb_gen : int;  (** {!Page_table.generation} it was filled at *)
+  mutable tlb_entry : Page_table.page;
 }
 
 exception Out_of_fuel

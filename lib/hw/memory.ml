@@ -7,40 +7,152 @@
      the page's capability-storage bit mediates which accessor is legal;
    - [code]: one instruction per 4-byte slot.
 
+   Representation: page-granular chunked arrays.  Each store maps a page
+   number to a flat array covering that page, allocated on first store;
+   within a page an access is a direct array index.  A one-entry
+   last-page cache per store keeps straight-line execution (fetch at
+   consecutive pcs, loads/stores into the same buffer) off the page
+   Hashtbl entirely.  Loads from untouched pages allocate nothing and
+   return the store's neutral element (0 / None), exactly as the earlier
+   per-address Hashtbl representation did.
+
    All protection checks happen in [Machine]; this module is the raw
    backing store. *)
 
+let page_mask = Layout.page_size - 1
+
+let words_per_page = Layout.page_size / Layout.word_size
+
+let caps_per_page = Layout.page_size / Layout.cap_bytes
+
+let instrs_per_page = Layout.page_size / Isa.instr_bytes
+
 type t = {
-  words : (int, int) Hashtbl.t;
-  caps : (int, Capability.t) Hashtbl.t;
-  code : (int, Isa.instr) Hashtbl.t;
+  words : (int, int array) Hashtbl.t;
+  caps : (int, Capability.t option array) Hashtbl.t;
+  code : (int, Isa.instr option array) Hashtbl.t;
+  mutable last_wpage : int;
+  mutable last_wchunk : int array;
+  mutable last_cpage : int;
+  mutable last_cchunk : Capability.t option array;
+  mutable last_ipage : int;
+  mutable last_ichunk : Isa.instr option array;
+  mutable code_count : int; (* placed instruction slots *)
 }
 
+(* [Layout.page_of] is a logical shift, so page numbers are never
+   negative: -1 is a safe "no page cached" sentinel. *)
 let create () =
-  { words = Hashtbl.create 4096; caps = Hashtbl.create 64; code = Hashtbl.create 1024 }
+  {
+    words = Hashtbl.create 64;
+    caps = Hashtbl.create 16;
+    code = Hashtbl.create 16;
+    last_wpage = -1;
+    last_wchunk = [||];
+    last_cpage = -1;
+    last_cchunk = [||];
+    last_ipage = -1;
+    last_ichunk = [||];
+    code_count = 0;
+  }
 
 let check_word_aligned addr =
   if addr land 7 <> 0 then invalid_arg (Printf.sprintf "unaligned word access 0x%x" addr)
 
+let word_chunk t page =
+  match Hashtbl.find_opt t.words page with
+  | Some c ->
+      t.last_wpage <- page;
+      t.last_wchunk <- c;
+      c
+  | None ->
+      let c = Array.make words_per_page 0 in
+      Hashtbl.add t.words page c;
+      t.last_wpage <- page;
+      t.last_wchunk <- c;
+      c
+
 let load_word t addr =
   check_word_aligned addr;
-  match Hashtbl.find_opt t.words addr with Some v -> v | None -> 0
+  let page = Layout.page_of addr in
+  if page = t.last_wpage then t.last_wchunk.((addr land page_mask) lsr 3)
+  else
+    match Hashtbl.find_opt t.words page with
+    | Some c ->
+        t.last_wpage <- page;
+        t.last_wchunk <- c;
+        c.((addr land page_mask) lsr 3)
+    | None -> 0
 
 let store_word t addr v =
   check_word_aligned addr;
-  Hashtbl.replace t.words addr v
+  let page = Layout.page_of addr in
+  let c = if page = t.last_wpage then t.last_wchunk else word_chunk t page in
+  c.((addr land page_mask) lsr 3) <- v
+
+let check_cap_aligned addr =
+  if addr land (Layout.cap_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "unaligned capability access 0x%x" addr)
+
+let cap_chunk t page =
+  match Hashtbl.find_opt t.caps page with
+  | Some c ->
+      t.last_cpage <- page;
+      t.last_cchunk <- c;
+      c
+  | None ->
+      let c = Array.make caps_per_page None in
+      Hashtbl.add t.caps page c;
+      t.last_cpage <- page;
+      t.last_cchunk <- c;
+      c
 
 let load_cap t addr =
-  if addr land (Layout.cap_bytes - 1) <> 0 then
-    invalid_arg (Printf.sprintf "unaligned capability access 0x%x" addr);
-  Hashtbl.find_opt t.caps addr
+  check_cap_aligned addr;
+  let page = Layout.page_of addr in
+  if page = t.last_cpage then t.last_cchunk.((addr land page_mask) lsr 5)
+  else
+    match Hashtbl.find_opt t.caps page with
+    | Some c ->
+        t.last_cpage <- page;
+        t.last_cchunk <- c;
+        c.((addr land page_mask) lsr 5)
+    | None -> None
 
 let store_cap t addr cap =
-  if addr land (Layout.cap_bytes - 1) <> 0 then
-    invalid_arg (Printf.sprintf "unaligned capability access 0x%x" addr);
-  Hashtbl.replace t.caps addr cap
+  check_cap_aligned addr;
+  let page = Layout.page_of addr in
+  let c = if page = t.last_cpage then t.last_cchunk else cap_chunk t page in
+  c.((addr land page_mask) lsr 5) <- Some cap
 
-let fetch t addr = Hashtbl.find_opt t.code addr
+(* Misaligned fetch addresses never hold an instruction (code is placed
+   at 4-aligned slots only), matching the old per-address table. *)
+let fetch t addr =
+  if addr land (Isa.instr_bytes - 1) <> 0 then None
+  else begin
+    let page = Layout.page_of addr in
+    if page = t.last_ipage then t.last_ichunk.((addr land page_mask) lsr 2)
+    else
+      match Hashtbl.find_opt t.code page with
+      | Some c ->
+          t.last_ipage <- page;
+          t.last_ichunk <- c;
+          c.((addr land page_mask) lsr 2)
+      | None -> None
+  end
+
+let code_chunk t page =
+  match Hashtbl.find_opt t.code page with
+  | Some c ->
+      t.last_ipage <- page;
+      t.last_ichunk <- c;
+      c
+  | None ->
+      let c = Array.make instrs_per_page None in
+      Hashtbl.add t.code page c;
+      t.last_ipage <- page;
+      t.last_ichunk <- c;
+      c
 
 (* Place a straight-line instruction sequence at [addr]; returns the first
    address past it. *)
@@ -48,8 +160,13 @@ let place_code t ~addr instrs =
   if addr land (Isa.instr_bytes - 1) <> 0 then
     invalid_arg "place_code: misaligned code address";
   List.iteri
-    (fun i instr -> Hashtbl.replace t.code (addr + (i * Isa.instr_bytes)) instr)
+    (fun i instr ->
+      let a = addr + (i * Isa.instr_bytes) in
+      let c = code_chunk t (Layout.page_of a) in
+      let slot = (a land page_mask) lsr 2 in
+      if c.(slot) = None then t.code_count <- t.code_count + 1;
+      c.(slot) <- Some instr)
     instrs;
   addr + (List.length instrs * Isa.instr_bytes)
 
-let code_size t = Hashtbl.length t.code
+let code_size t = t.code_count

@@ -15,9 +15,15 @@ type page = {
   mutable cap_store : bool; (* capability storage bit (Sec. 4.2) *)
 }
 
-type t = { pages : (int, page) Hashtbl.t }
+(* [generation] is bumped whenever the page-number -> page mapping itself
+   changes (map/unmap); [Machine]'s one-entry translation cache keys on
+   it.  In-place mutation of a [page] record (retag, set_protection) does
+   not bump it: cached pointers to the record observe those writes. *)
+type t = { pages : (int, page) Hashtbl.t; mutable generation : int }
 
-let create () = { pages = Hashtbl.create 1024 }
+let create () = { pages = Hashtbl.create 1024; generation = 0 }
+
+let generation t = t.generation
 
 let find t addr = Hashtbl.find_opt t.pages (Layout.page_of addr)
 
@@ -31,6 +37,7 @@ let is_mapped t addr = Hashtbl.mem t.pages (Layout.page_of addr)
 (* Map [count] pages starting at the page containing [addr]. *)
 let map t ~addr ~count ~tag ?(readable = true) ?(writable = true)
     ?(executable = false) ?(priv_cap = false) ?(cap_store = false) () =
+  t.generation <- t.generation + 1;
   let first = Layout.page_of addr in
   for i = first to first + count - 1 do
     if Hashtbl.mem t.pages i then
@@ -40,6 +47,7 @@ let map t ~addr ~count ~tag ?(readable = true) ?(writable = true)
   done
 
 let unmap t ~addr ~count =
+  t.generation <- t.generation + 1;
   let first = Layout.page_of addr in
   for i = first to first + count - 1 do
     Hashtbl.remove t.pages i

@@ -54,4 +54,9 @@ val set_protection :
 
 val mapped_page_count : t -> int
 
+(** Bumped whenever the page-number -> page mapping changes (map/unmap);
+    translation caches key their entries on it.  In-place page mutation
+    (retag, protection bits) does not bump it. *)
+val generation : t -> int
+
 val pages_of_tag : t -> int -> int list

@@ -36,13 +36,16 @@ type thread = {
   mutable state : [ `New | `Ready | `Running | `Blocked | `Done ];
   mutable wake_ipi : bool; (* an IPI was sent to wake us *)
   mutable voluntary_switches : int;
+  mutable park : unit Engine.waker option;
+      (* waker while waiting on a busy CPU's run queue; a field on the
+         thread (not a tid-keyed table) keeps the ready/run hand-off off
+         the hash path *)
 }
 
 type cpu = {
   cpu_id : int;
   mutable running : thread option;
   runq : thread Queue.t;
-  mutable parked : (int, unit Engine.waker) Hashtbl.t; (* tid -> waker *)
   mutable idle_since : float option;
   mutable idle_total : float;
   mutable busy_total : float;
@@ -75,7 +78,6 @@ let create engine ~ncpus =
           cpu_id = i;
           running = None;
           runq = Queue.create ();
-          parked = Hashtbl.create 16;
           idle_since = Some 0.;
           idle_total = 0.;
           busy_total = 0.;
@@ -143,8 +145,7 @@ let charge t th category ns =
   Breakdown.charge t.cpus.(th.cpu).cpu_bd category ns;
   let tr = Engine.tracer t.engine in
   if Trace.enabled tr then
-    Trace.emit tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~cat:category ~dur:ns
-      Trace.Charge
+    Trace.emit_charge tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~cat:category ~dur:ns
 
 (* --- CPU token management --- *)
 
@@ -157,8 +158,8 @@ let end_idle t cpu =
       Breakdown.charge cpu.cpu_bd Breakdown.Idle d;
       let tr = Engine.tracer t.engine in
       if Trace.enabled tr then
-        Trace.emit tr ~ts:(now t) ~cpu:cpu.cpu_id ~cat:Breakdown.Idle ~dur:d
-          Trace.Charge;
+        Trace.emit_charge tr ~ts:(now t) ~cpu:cpu.cpu_id ~tid:(-1) ~cat:Breakdown.Idle
+          ~dur:d;
       cpu.idle_since <- None;
       d
   | None -> 0.
@@ -216,10 +217,10 @@ let acquire t th =
   | Some _ ->
       th.state <- `Ready;
       Engine.suspend (fun waker ->
-          Hashtbl.replace cpu.parked th.tid waker;
+          th.park <- Some waker;
           Queue.add th cpu.runq);
       (* release/hand-off set [running] to us before resuming. *)
-      Hashtbl.remove cpu.parked th.tid;
+      th.park <- None;
       th.state <- `Running;
       switch_in t th ~idled:0.
 
@@ -233,23 +234,24 @@ let release t th =
   match Queue.take_opt cpu.runq with
   | Some next ->
       cpu.running <- Some next;
-      let waker = Hashtbl.find cpu.parked next.tid in
-      Engine.resume waker ()
+      (match next.park with
+      | Some waker -> Engine.resume waker ()
+      | None -> invalid_arg "Kernel.release: queued thread has no waker")
   | None -> cpu.idle_since <- Some (now t)
 
 (* Consume CPU time, attributed to [category].  Long stretches are chopped
    into scheduler quanta so ready threads on the same CPU make progress
    (approximating timer preemption). *)
 let consume t th category ns =
-  let cpu () = t.cpus.(th.cpu) in
   let remaining = ref ns in
   while !remaining > 0. do
     let chunk = if !remaining > t.quantum then t.quantum else !remaining in
     charge t th category chunk;
-    (cpu ()).busy_total <- (cpu ()).busy_total +. chunk;
+    let cpu = t.cpus.(th.cpu) in
+    cpu.busy_total <- cpu.busy_total +. chunk;
     Engine.delay chunk;
     remaining := !remaining -. chunk;
-    if !remaining > 0. && not (Queue.is_empty (cpu ()).runq) then begin
+    if !remaining > 0. && not (Queue.is_empty t.cpus.(th.cpu).runq) then begin
       (* Preempted: round-robin to the back of the queue. *)
       charge t th Breakdown.Schedule Costs.context_switch;
       release t th;
@@ -389,6 +391,7 @@ let spawn ?(cpu = -1) ?(at = None) t proc ~name body =
       state = `New;
       wake_ipi = false;
       voluntary_switches = 0;
+      park = None;
     }
   in
   let wrapped () =

@@ -46,7 +46,7 @@ let now t = t.now
 
 let schedule t ~at f =
   let at = if at < t.now then t.now else at in
-  if Trace.enabled t.tracer then Trace.emit t.tracer ~ts:at Trace.Sched;
+  if Trace.enabled t.tracer then Trace.emit_bare t.tracer ~ts:at Trace.Sched;
   Heap.push t.events ~time:at f
 
 (* Run [f] as a simulated thread under the effect handler. *)
@@ -70,7 +70,7 @@ let rec exec t f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   if Trace.enabled t.tracer then
-                    Trace.emit t.tracer ~ts:t.now Trace.Suspend;
+                    Trace.emit_bare t.tracer ~ts:t.now Trace.Suspend;
                   let waker =
                     {
                       fired = false;
@@ -78,7 +78,7 @@ let rec exec t f =
                       deliver =
                         (fun v ->
                           if Trace.enabled t.tracer then
-                            Trace.emit t.tracer ~ts:t.now Trace.Resume;
+                            Trace.emit_bare t.tracer ~ts:t.now Trace.Resume;
                           schedule t ~at:t.now (fun () -> continue k v));
                     }
                   in
@@ -90,7 +90,7 @@ let rec exec t f =
 and spawn ?at t f =
   t.live <- t.live + 1;
   let at = match at with None -> t.now | Some at -> at in
-  if Trace.enabled t.tracer then Trace.emit t.tracer ~ts:at Trace.Spawn;
+  if Trace.enabled t.tracer then Trace.emit_bare t.tracer ~ts:at Trace.Spawn;
   schedule t ~at (fun () -> exec t f)
 
 (* --- operations available inside simulated threads --- *)
@@ -116,35 +116,39 @@ let resume waker v =
 
 exception Step_limit_exceeded
 
+(* The loop body allocates nothing: [top_time]/[pop_min] avoid the
+   [Some (time, thunk)] boxing of [Heap.pop] on every event. *)
 let run t =
-  let continue = ref true in
-  while !continue do
-    match Heap.pop t.events with
-    | None -> continue := false
-    | Some (time, thunk) ->
-        t.steps <- t.steps + 1;
-        if t.steps > t.step_limit then raise Step_limit_exceeded;
-        t.now <- time;
-        thunk ()
+  while not (Heap.is_empty t.events) do
+    let time = Heap.top_time t.events in
+    let thunk = Heap.pop_min t.events in
+    t.steps <- t.steps + 1;
+    if t.steps > t.step_limit then raise Step_limit_exceeded;
+    t.now <- time;
+    thunk ()
   done
 
 (* Run until virtual time [deadline]; events after it stay queued. *)
 let run_until t deadline =
   let continue = ref true in
   while !continue do
-    match Heap.peek_time t.events with
-    | None -> continue := false
-    | Some time when time > deadline ->
+    if Heap.is_empty t.events then continue := false
+    else begin
+      let time = Heap.top_time t.events in
+      if time > deadline then begin
         t.now <- deadline;
         continue := false
-    | Some _ ->
-        (match Heap.pop t.events with
-        | None -> continue := false
-        | Some (time, thunk) ->
-            t.steps <- t.steps + 1;
-            if t.steps > t.step_limit then raise Step_limit_exceeded;
-            t.now <- time;
-            thunk ())
+      end
+      else begin
+        let thunk = Heap.pop_min t.events in
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then raise Step_limit_exceeded;
+        t.now <- time;
+        thunk ()
+      end
+    end
   done
 
 let pending t = Heap.length t.events
+
+let steps t = t.steps

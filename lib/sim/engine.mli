@@ -56,3 +56,6 @@ val run_until : t -> float -> unit
 
 (** Number of queued events. *)
 val pending : t -> int
+
+(** Events fired so far (across [run]/[run_until] calls). *)
+val steps : t -> int

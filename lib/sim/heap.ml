@@ -2,80 +2,145 @@
 
    The sequence number breaks ties so that events scheduled for the same
    instant fire in insertion order, which keeps the discrete-event engine
-   deterministic. *)
+   deterministic.
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+   Representation: three parallel arrays (struct-of-arrays) instead of an
+   array of entry records.  [times] is a flat float array, so a sift
+   comparison reads an unboxed float instead of chasing the boxed [time]
+   field of a mixed record (OCaml boxes float fields of mixed records);
+   pushing allocates nothing once the arrays are grown; and
+   [pop_min]/[top_time] give the engine's event loop an allocation-free
+   fast path next to the option-returning [pop].
+
+   Both sift loops percolate a hole instead of swapping: the moving
+   entry is held in locals and written once at its final slot, so each
+   level costs three stores (one of them through the GC write barrier,
+   for the payload) instead of six.  The loops also keep the arrays in
+   locals and inline the comparisons — without flambda a per-level
+   helper call would cost more than the allocations this representation
+   saves.
+
+   Payloads are stored as [Obj.t] behind the typed ['a t] interface so a
+   vacated slot can be nulled with a type-neutral sentinel: a popped
+   payload (an engine continuation, i.e. a whole captured stack) must not
+   stay reachable from the heap until the slot happens to be
+   overwritten. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : Obj.t array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+(* Sentinel for empty payload slots.  An immediate value: holds nothing
+   alive, and [Array.make] with it builds a uniform (non-float) array. *)
+let nil : Obj.t = Obj.repr 0
+
+let create () = { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let ensure_capacity h filler =
-  let cap = Array.length h.data in
-  if cap = 0 then h.data <- Array.make 16 filler
-  else if h.size = cap then begin
-    let fresh = Array.make (2 * cap) filler in
-    Array.blit h.data 0 fresh 0 h.size;
-    h.data <- fresh
+let ensure_capacity h =
+  let cap = Array.length h.seqs in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let times = Array.make ncap 0. in
+    let seqs = Array.make ncap 0 in
+    let payloads = Array.make ncap nil in
+    Array.blit h.times 0 times 0 h.size;
+    Array.blit h.seqs 0 seqs 0 h.size;
+    Array.blit h.payloads 0 payloads 0 h.size;
+    h.times <- times;
+    h.seqs <- seqs;
+    h.payloads <- payloads
   end
 
 let push h ~time payload =
-  let entry = { time; seq = h.next_seq; payload } in
-  h.next_seq <- h.next_seq + 1;
-  ensure_capacity h entry;
-  let data = h.data in
+  ensure_capacity h;
+  let times = h.times and seqs = h.seqs and payloads = h.payloads in
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  (* Percolate the hole up from the new slot: parents later than the new
+     entry move down one level; the new entry is stored once at the end. *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  data.(!i) <- entry;
-  (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if before data.(!i) data.(parent) then begin
-      let tmp = data.(parent) in
-      data.(parent) <- data.(!i);
-      data.(!i) <- tmp;
-      i := parent
+    let c = !i in
+    let p = (c - 1) / 2 in
+    if time < times.(p) || (time = times.(p) && seq < seqs.(p)) then begin
+      times.(c) <- times.(p);
+      seqs.(c) <- seqs.(p);
+      payloads.(c) <- payloads.(p);
+      i := p
     end
     else continue := false
-  done
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  payloads.(!i) <- Obj.repr payload
+
+(* Remove the root: null the vacated last slot, then percolate the hole
+   at the root down, moving the earlier child up each level, until the
+   displaced last entry fits. *)
+let remove_top h =
+  let size = h.size - 1 in
+  h.size <- size;
+  let times = h.times and seqs = h.seqs and payloads = h.payloads in
+  let ltime = times.(size) and lseq = seqs.(size) and lpay = payloads.(size) in
+  payloads.(size) <- nil;
+  if size > 0 then begin
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c = !i in
+      let l = (2 * c) + 1 in
+      if l >= size then continue := false
+      else begin
+        (* Pick the earlier of the two children. *)
+        let r = l + 1 in
+        let m =
+          if
+            r < size
+            && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if times.(m) < ltime || (times.(m) = ltime && seqs.(m) < lseq) then begin
+          times.(c) <- times.(m);
+          seqs.(c) <- seqs.(m);
+          payloads.(c) <- payloads.(m);
+          i := m
+        end
+        else continue := false
+      end
+    done;
+    times.(!i) <- ltime;
+    seqs.(!i) <- lseq;
+    payloads.(!i) <- lpay
+  end
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let data = h.data in
-    let top = data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      data.(0) <- data.(h.size);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && before data.(l) data.(!smallest) then smallest := l;
-        if r < h.size && before data.(r) data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = data.(!smallest) in
-          data.(!smallest) <- data.(!i);
-          data.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = h.times.(0) in
+    let payload : 'a = Obj.obj h.payloads.(0) in
+    remove_top h;
+    Some (time, payload)
   end
 
-let peek_time h = if h.size = 0 then None else Some h.data.(0).time
+let top_time h =
+  if h.size = 0 then invalid_arg "Heap.top_time: empty heap";
+  h.times.(0)
+
+let pop_min h =
+  if h.size = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let payload : 'a = Obj.obj h.payloads.(0) in
+  remove_top h;
+  payload
+
+let peek_time h = if h.size = 0 then None else Some h.times.(0)

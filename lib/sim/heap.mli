@@ -21,3 +21,12 @@ val pop : 'a t -> (float * 'a) option
 
 (** Time of the earliest entry without removing it. *)
 val peek_time : 'a t -> float option
+
+(** Time of the earliest entry; raises [Invalid_argument] when empty.
+    Allocation-free counterpart of {!peek_time} for the event loop. *)
+val top_time : 'a t -> float
+
+(** Remove and return the earliest payload; raises [Invalid_argument]
+    when empty.  Allocation-free counterpart of {!pop}; the vacated slot
+    is nulled so the heap retains no popped payload. *)
+val pop_min : 'a t -> 'a

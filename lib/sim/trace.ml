@@ -76,14 +76,56 @@ type t = {
   mutable head : int; (* next write slot *)
   mutable len : int; (* valid entries, <= cap *)
   mutable count : int; (* lifetime emits *)
-  mutable hash : int64; (* streaming FNV-1a over all emits *)
+  (* Streaming FNV-1a over all emits, stored as two 32-bit halves in
+     immediate ints.  [emit] computes the whole event's fold in unboxed
+     Int64 registers and stores the halves back as plain ints: an
+     [int64] field would box a fresh value (and write-barrier the store)
+     on every event.  [digest] reassembles the halves. *)
+  mutable hash_lo : int; (* bits 0..31 *)
+  mutable hash_hi : int; (* bits 32..63 *)
 }
 
-(* FNV-1a, 64-bit. *)
+(* --- the digest ---
+
+   FNV-1a, 64-bit: offset basis 0xCBF29CE484222325, prime
+   p = 0x100000001B3.  One step is h <- (h lxor b) * p mod 2^64, folded
+   over the 64 bytes of every event (eight 8-byte fields).  The byte
+   fold is a serial dependency chain — each multiply waits on the last —
+   and at ~9M events per OLTP run it dominated traced simulations.
+
+   The fast paths below shortcut the chain *exactly* (bit-identical
+   digests; the golden-digest test is the gate).  They rest on one
+   identity: xor only touches the low byte, and for any h and byte b,
+
+     h lxor b = h + d   where d = ((h land 0xff) lxor b) - (h land 0xff)
+
+   so one FNV step is (h + d) * p.  Folding a zero byte (b = 0) gives
+   d = 0: the step degenerates to h * p.  Hence
+
+     - an 8-byte field that is all zeros folds to      h * p^8
+     - a field with one significant low byte folds to  (h + d0) * p^8
+     - two significant low bytes fold to               (h + d0) * p^8 + d1 * p^7
+
+   where d1 needs the low byte of the intermediate hash: low8((h+d0)*p)
+   = (y0 * 0xB3) land 0xff with y0 = low8(h) lxor b0, because
+   p land 0xff = 0xB3 and the higher terms of the product are multiples
+   of 256.  An all-0xff field (an int -1) folds through a 256-entry
+   table indexed by low8(h): mix(h, -1) = h * p^8 + d_ff.(low8 h), the
+   table filled once from the reference fold.
+
+   Trace fields are overwhelmingly small non-negative ints, -1
+   ("missing"), or 0.0 durations, so most events take a handful of
+   multiplies instead of 64.  Arbitrary values (timestamps, real
+   durations, large args) fall back to the unrolled serial chain, which
+   the compiler keeps in unboxed Int64 registers (a chain of [let]s, no
+   [ref] — a boxed accumulator costs an allocation per byte). *)
+
 let fnv_offset = 0xCBF29CE484222325L
 
 let fnv_prime = 0x100000001B3L
 
+(* Reference byte-at-a-time fold; ground truth for the fast paths (the
+   property tests compare against it) and source of the [d_ff] table. *)
 let mix64 h v =
   let h = ref h in
   for i = 0 to 7 do
@@ -91,6 +133,76 @@ let mix64 h v =
     h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
   done;
   !h
+
+let fnv_prime_2 = Int64.mul fnv_prime fnv_prime
+
+let fnv_prime_4 = Int64.mul fnv_prime_2 fnv_prime_2
+
+let fnv_prime_7 = Int64.mul fnv_prime_4 (Int64.mul fnv_prime_2 fnv_prime)
+
+let fnv_prime_8 = Int64.mul fnv_prime_4 fnv_prime_4
+
+(* d_ff.(l) = mix64 h (-1L) - h * p^8  for any h with low byte [l]: the
+   correction term only depends on the low byte, so tabulating it from
+   h = l is exact for every h. *)
+let d_ff =
+  Array.init 256 (fun l ->
+      let h = Int64.of_int l in
+      Int64.sub (mix64 h (-1L)) (Int64.mul h fnv_prime_8))
+
+(* Serial fold of the 8 bytes of native int [v] (sign-extended, as
+   Int64.of_int would give), unrolled so the hash stays in unboxed
+   registers end to end. *)
+let mix_int_slow h v =
+  let p = fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int (v land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 8) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 16) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 24) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 32) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 40) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 48) land 0xff))) p in
+  Int64.mul (Int64.logxor h (Int64.of_int ((v asr 56) land 0xff))) p
+
+(* Serial fold of bytes 4..7 of an IEEE-754 pattern, given as the high
+   32 bits in a native int (used after the low word was all zero). *)
+let mix_hi32 h w =
+  let p = fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
+  Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
+
+(* Full 8-byte fold of an IEEE-754 pattern. *)
+let mix_float_slow h bits =
+  let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
+  let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
+  let p = fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
+  Int64.mul (Int64.logxor h (Int64.of_int b7)) p
+
+(* Fold one int field, out-of-line tail of the inline dispatch in
+   [emit]: fast path for 256..65535 per the identities above, serial
+   chain otherwise (the 0..255 and -1 cases are inlined at the call
+   sites — without flambda, a call per field would dominate). *)
+let mix_int_any h v =
+  if v land -65536 = 0 then begin
+    (* bytes [b0, b1, 0 x6] *)
+    let l0 = Int64.to_int h land 0xff in
+    let y0 = l0 lxor (v land 0xff) in
+    let l1 = y0 * 0xB3 land 0xff in
+    let d1 = (l1 lxor (v lsr 8)) - l1 in
+    Int64.add
+      (Int64.mul (Int64.add h (Int64.of_int (y0 - l0))) fnv_prime_8)
+      (Int64.mul (Int64.of_int d1) fnv_prime_7)
+  end
+  else mix_int_slow h v
 
 let make ~on ~capacity =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
@@ -108,7 +220,8 @@ let make ~on ~capacity =
     head = 0;
     len = 0;
     count = 0;
-    hash = fnv_offset;
+    hash_lo = Int64.to_int (Int64.logand fnv_offset 0xFFFFFFFFL);
+    hash_hi = Int64.to_int (Int64.shift_right_logical fnv_offset 32);
   }
 
 let null = make ~on:false ~capacity:1
@@ -121,15 +234,81 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
   if t.on then begin
     let ci = match cat with None -> -1 | Some c -> Breakdown.category_index c in
     let ki = kind_index kind in
-    let h = mix64 t.hash (Int64.bits_of_float ts) in
-    let h = mix64 h (Int64.of_int ki) in
-    let h = mix64 h (Int64.of_int cpu) in
-    let h = mix64 h (Int64.of_int tid) in
-    let h = mix64 h (Int64.of_int tag) in
-    let h = mix64 h (Int64.of_int ci) in
-    let h = mix64 h (Int64.bits_of_float dur) in
-    let h = mix64 h (Int64.of_int arg) in
-    t.hash <- h;
+    (* Fold the event into the digest.  The whole fold runs on a local
+       [h] in unboxed Int64 registers — one reassembly at entry, one
+       halves store at exit, zero allocation.  Per int field the
+       dispatch is inlined: small non-negative (the common case: kind,
+       cpu, tid, most tags/args) is one add+multiply, -1 ("missing") one
+       multiply and a table lookup, anything else goes out of line. *)
+    let h =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int t.hash_hi) 32)
+        (Int64.of_int t.hash_lo)
+    in
+    let h =
+      let bits = Int64.bits_of_float ts in
+      if bits = 0L then Int64.mul h fnv_prime_8
+      else if Int64.logand bits 0xFFFFFFFFL = 0L then
+        mix_hi32
+          (Int64.mul h fnv_prime_4)
+          (Int64.to_int (Int64.shift_right_logical bits 32))
+      else mix_float_slow h bits
+    in
+    (* ki is always 0..9: unconditional fast path. *)
+    let h =
+      let l0 = Int64.to_int h land 0xff in
+      Int64.mul (Int64.add h (Int64.of_int ((l0 lxor ki) - l0))) fnv_prime_8
+    in
+    let h =
+      if cpu land -256 = 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor cpu) - l0))) fnv_prime_8
+      else if cpu = -1 then
+        Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else mix_int_any h cpu
+    in
+    let h =
+      if tid land -256 = 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor tid) - l0))) fnv_prime_8
+      else if tid = -1 then
+        Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else mix_int_any h tid
+    in
+    let h =
+      if tag land -256 = 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor tag) - l0))) fnv_prime_8
+      else if tag = -1 then
+        Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else mix_int_any h tag
+    in
+    (* ci is always -1 or a small category index. *)
+    let h =
+      if ci >= 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor ci) - l0))) fnv_prime_8
+      else Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+    in
+    let h =
+      let bits = Int64.bits_of_float dur in
+      if bits = 0L then Int64.mul h fnv_prime_8
+      else if Int64.logand bits 0xFFFFFFFFL = 0L then
+        mix_hi32
+          (Int64.mul h fnv_prime_4)
+          (Int64.to_int (Int64.shift_right_logical bits 32))
+      else mix_float_slow h bits
+    in
+    let h =
+      if arg land -256 = 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor arg) - l0))) fnv_prime_8
+      else if arg = -1 then
+        Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else mix_int_any h arg
+    in
+    t.hash_lo <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
+    t.hash_hi <- Int64.to_int (Int64.shift_right_logical h 32);
     let i = t.head in
     t.ts.(i) <- ts;
     t.kinds.(i) <- ki;
@@ -144,13 +323,148 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
     t.count <- t.count + 1
   end
 
+(* Lean hot-path variants of [emit].  Digest- and ring-identical to the
+   equivalent [emit] call; they exist because their call sites fire
+   millions of times per run and the general entry point's optional
+   arguments (a [Some] box per present option, a boxed default per
+   absent one) plus the generic per-field dispatch were measurable
+   there.  Every defaulted field still folds into the digest — as the
+   same -1/0/0.0 the general path would fold — so a run traced through
+   these produces the same fingerprint byte for byte. *)
+
+(* [emit t ~ts kind]: every optional field defaulted (the engine's
+   scheduling events).  The 0/0.0 fields fold to bare multiplies
+   (d = 0); the four -1 fields walk the correction table. *)
+let emit_bare t ~ts kind =
+  if t.on then begin
+    let ki = kind_index kind in
+    let h =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int t.hash_hi) 32)
+        (Int64.of_int t.hash_lo)
+    in
+    let h =
+      let bits = Int64.bits_of_float ts in
+      if bits = 0L then Int64.mul h fnv_prime_8
+      else if Int64.logand bits 0xFFFFFFFFL = 0L then
+        mix_hi32
+          (Int64.mul h fnv_prime_4)
+          (Int64.to_int (Int64.shift_right_logical bits 32))
+      else mix_float_slow h bits
+    in
+    (* ki is always 0..9 *)
+    let h =
+      let l0 = Int64.to_int h land 0xff in
+      Int64.mul (Int64.add h (Int64.of_int ((l0 lxor ki) - l0))) fnv_prime_8
+    in
+    (* cpu, tid, tag, ci = -1 *)
+    let h = Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff) in
+    let h = Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff) in
+    let h = Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff) in
+    let h = Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff) in
+    (* dur = 0., arg = 0 *)
+    let h = Int64.mul h fnv_prime_8 in
+    let h = Int64.mul h fnv_prime_8 in
+    t.hash_lo <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
+    t.hash_hi <- Int64.to_int (Int64.shift_right_logical h 32);
+    let i = t.head in
+    t.ts.(i) <- ts;
+    t.kinds.(i) <- ki;
+    t.cpus.(i) <- -1;
+    t.tids.(i) <- -1;
+    t.tags.(i) <- -1;
+    t.cats.(i) <- -1;
+    t.durs.(i) <- 0.;
+    t.args.(i) <- 0;
+    t.head <- (i + 1) mod t.cap;
+    if t.len < t.cap then t.len <- t.len + 1;
+    t.count <- t.count + 1
+  end
+
+(* [emit t ~ts ~cpu ~tid ~cat ~dur Charge] (tag and arg defaulted): the
+   cost-attribution event every [Kernel.charge] emits. *)
+let emit_charge t ~ts ~cpu ~tid ~cat ~dur =
+  if t.on then begin
+    let ci = Breakdown.category_index cat in
+    let h =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int t.hash_hi) 32)
+        (Int64.of_int t.hash_lo)
+    in
+    let h =
+      let bits = Int64.bits_of_float ts in
+      if bits = 0L then Int64.mul h fnv_prime_8
+      else if Int64.logand bits 0xFFFFFFFFL = 0L then
+        mix_hi32
+          (Int64.mul h fnv_prime_4)
+          (Int64.to_int (Int64.shift_right_logical bits 32))
+      else mix_float_slow h bits
+    in
+    (* ki = 9 (Charge) *)
+    let h =
+      let l0 = Int64.to_int h land 0xff in
+      Int64.mul (Int64.add h (Int64.of_int ((l0 lxor 9) - l0))) fnv_prime_8
+    in
+    let h =
+      if cpu land -256 = 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor cpu) - l0))) fnv_prime_8
+      else if cpu = -1 then
+        Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else mix_int_any h cpu
+    in
+    let h =
+      if tid land -256 = 0 then
+        let l0 = Int64.to_int h land 0xff in
+        Int64.mul (Int64.add h (Int64.of_int ((l0 lxor tid) - l0))) fnv_prime_8
+      else if tid = -1 then
+        Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else mix_int_any h tid
+    in
+    (* tag = -1 *)
+    let h = Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff) in
+    (* ci: a category index, always small and non-negative *)
+    let h =
+      let l0 = Int64.to_int h land 0xff in
+      Int64.mul (Int64.add h (Int64.of_int ((l0 lxor ci) - l0))) fnv_prime_8
+    in
+    let h =
+      let bits = Int64.bits_of_float dur in
+      if bits = 0L then Int64.mul h fnv_prime_8
+      else if Int64.logand bits 0xFFFFFFFFL = 0L then
+        mix_hi32
+          (Int64.mul h fnv_prime_4)
+          (Int64.to_int (Int64.shift_right_logical bits 32))
+      else mix_float_slow h bits
+    in
+    (* arg = 0 *)
+    let h = Int64.mul h fnv_prime_8 in
+    t.hash_lo <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
+    t.hash_hi <- Int64.to_int (Int64.shift_right_logical h 32);
+    let i = t.head in
+    t.ts.(i) <- ts;
+    t.kinds.(i) <- 9;
+    t.cpus.(i) <- cpu;
+    t.tids.(i) <- tid;
+    t.tags.(i) <- -1;
+    t.cats.(i) <- ci;
+    t.durs.(i) <- dur;
+    t.args.(i) <- 0;
+    t.head <- (i + 1) mod t.cap;
+    if t.len < t.cap then t.len <- t.len + 1;
+    t.count <- t.count + 1
+  end
+
 let total t = t.count
 
 let dropped t = t.count - t.len
 
-let digest t = t.hash
+let digest t =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.hash_hi) 32)
+    (Int64.of_int t.hash_lo)
 
-let digest_hex t = Printf.sprintf "%016Lx" t.hash
+let digest_hex t = Printf.sprintf "%016Lx" (digest t)
 
 let nth_event t j =
   let i = (t.head - t.len + j + t.cap + t.cap) mod t.cap in

@@ -63,6 +63,18 @@ val emit :
   kind ->
   unit
 
+(** [emit_bare t ~ts kind] ≡ [emit t ~ts kind]: lean entry point for the
+    engine's scheduling events, which fire once per queued event.
+    Digest- and ring-identical to the general call, minus the
+    optional-argument overhead. *)
+val emit_bare : t -> ts:float -> kind -> unit
+
+(** [emit_charge t ~ts ~cpu ~tid ~cat ~dur] ≡
+    [emit t ~ts ~cpu ~tid ~cat ~dur Charge]: lean entry point for the
+    kernel's cost-attribution events, the most frequent event kind. *)
+val emit_charge :
+  t -> ts:float -> cpu:int -> tid:int -> cat:Breakdown.category -> dur:float -> unit
+
 (** Events still held in the ring, oldest first. *)
 val events : t -> event list
 

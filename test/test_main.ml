@@ -3,4 +3,4 @@ let () =
     (Test_sim.suites @ Test_hw.suites @ Test_kernel.suites @ Test_ipc.suites
    @ Test_core.suites @ Test_security.suites @ Test_workloads.suites
    @ Test_extensions.suites @ Test_archmodels.suites @ Test_lang.suites @ Test_advanced.suites
-   @ Test_trace.suites)
+   @ Test_trace.suites @ Test_perf.suites)

@@ -1,0 +1,425 @@
+(* Hot-path substrate regressions: the heap, APL cache, memory and
+   trace-digest representations were all rewritten for speed in the
+   performance-overhaul PR, under the rule that fixed-seed replay
+   digests must not move.  These tests pin each optimized structure to
+   its reference semantics with property tests and targeted units, so a
+   future "optimization" that bends behavior fails here rather than in
+   a shifted golden digest nobody can decode. *)
+
+module Heap = Dipc_sim.Heap
+module Trace = Dipc_sim.Trace
+module Breakdown = Dipc_sim.Breakdown
+module Memory = Dipc_hw.Memory
+module Apl_cache = Dipc_hw.Apl_cache
+module Capability = Dipc_hw.Capability
+module Perm = Dipc_hw.Perm
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* --- heap: pop order, tie-breaking, model equivalence --- *)
+
+(* Times drawn from a small grid so equal timestamps are common — the
+   FIFO tie-break is the property under test. *)
+let time_gen = QCheck.map (fun n -> float_of_int n /. 4.) QCheck.(int_range 0 40)
+
+let drain h =
+  let rec go acc = match Heap.pop h with
+    | None -> List.rev acc
+    | Some (time, payload) -> go ((time, payload) :: acc)
+  in
+  go []
+
+let heap_of items =
+  let h = Heap.create () in
+  List.iter (fun (time, payload) -> Heap.push h ~time payload) items;
+  h
+
+let prop_pop_sorted =
+  QCheck.Test.make ~name:"heap pops sorted by time" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 60) time_gen)
+    (fun times ->
+      let popped = drain (heap_of (List.mapi (fun i t -> (t, i)) times)) in
+      let rec sorted = function
+        | (a, _) :: ((b, _) :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      List.length popped = List.length times && sorted popped)
+
+let prop_fifo_at_equal_times =
+  QCheck.Test.make ~name:"heap is FIFO among equal timestamps" ~count:300
+    QCheck.(pair (int_range 0 40) (int_range 1 50))
+    (fun (t, n) ->
+      let time = float_of_int t in
+      let popped = drain (heap_of (List.init n (fun i -> (time, i)))) in
+      popped = List.init n (fun i -> (time, i)))
+
+(* Stable sort by time alone is exactly "earliest first, insertion order
+   among equals" — the heap must agree with it on any input. *)
+let prop_matches_stable_sort =
+  QCheck.Test.make ~name:"heap drain equals stable sort" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 80) time_gen)
+    (fun times ->
+      let items = List.mapi (fun i t -> (t, i)) times in
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> compare (a : float) b) items
+      in
+      drain (heap_of items) = expected)
+
+(* Interleaved pushes and pops against a sorted-list model, exercising
+   the hole-percolation paths with a heap that grows and shrinks. *)
+let prop_push_pop_model =
+  QCheck.Test.make ~name:"heap push/pop matches list model" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 120) (option time_gen))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] (* sorted (time, seq, id); seq breaks ties *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some time ->
+              let id = !seq in
+              incr seq;
+              Heap.push h ~time id;
+              model :=
+                List.stable_sort
+                  (fun (a, sa, _) (b, sb, _) -> compare (a, sa) (b, sb))
+                  ((time, id, id) :: !model)
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> ()
+              | Some (time, payload), (mt, _, mid) :: rest ->
+                  if time <> mt || payload <> mid then ok := false
+                  else model := rest
+              | _ -> ok := false))
+        ops;
+      !ok && Heap.length h = List.length !model)
+
+let prop_pop_min_agrees =
+  QCheck.Test.make ~name:"top_time/pop_min agree with pop" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 60) time_gen)
+    (fun times ->
+      let items = List.mapi (fun i t -> (t, i)) times in
+      let a = heap_of items and b = heap_of items in
+      let ok = ref true in
+      while not (Heap.is_empty a) do
+        let time = Heap.top_time a in
+        let payload = Heap.pop_min a in
+        (match Heap.pop b with
+        | Some (time', payload') ->
+            if time <> time' || payload <> payload' then ok := false
+        | None -> ok := false)
+      done;
+      !ok && Heap.is_empty b)
+
+(* --- heap: popped payloads must not be retained --- *)
+
+(* Separate non-inlined stages so no stack slot of the test function
+   keeps the payloads alive across the GC. *)
+let[@inline never] fill_heap h n =
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = Bytes.make 24 'x' in
+    Weak.set w i (Some payload);
+    Heap.push h ~time:(float_of_int (n - i)) payload
+  done;
+  w
+
+let[@inline never] drain_heap h = while Heap.pop h <> None do () done
+
+let test_no_payload_retention () =
+  let h = Heap.create () in
+  let n = 33 in
+  let w = fill_heap h n in
+  drain_heap h;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check int) "popped payloads collected after drain" 0 !live;
+  (* The heap stays usable after the drain. *)
+  Heap.push h ~time:1. (Bytes.make 1 'y');
+  Alcotest.(check int) "heap usable after drain" 1 (Heap.length h)
+
+(* --- APL cache: reset, and LRU model equivalence --- *)
+
+let test_apl_reset_clears_stats () =
+  let c = Apl_cache.create () in
+  ignore (Apl_cache.lookup c 7);
+  ignore (Apl_cache.install c 7);
+  ignore (Apl_cache.lookup c 7);
+  ignore (Apl_cache.ensure c 9);
+  let hits, misses, refills = Apl_cache.stats c in
+  Alcotest.(check bool) "activity recorded" true (hits > 0 && misses > 0 && refills > 0);
+  Apl_cache.reset c;
+  Alcotest.(check (triple int int int)) "reset clears hits/misses/refills" (0, 0, 0)
+    (Apl_cache.stats c);
+  Alcotest.(check (list int)) "reset clears residency" [] (Apl_cache.resident_tags c);
+  (* A fresh miss after reset counts from zero. *)
+  ignore (Apl_cache.ensure c 7);
+  Alcotest.(check (triple int int int)) "counting restarts" (0, 1, 1) (Apl_cache.stats c)
+
+(* Naive reference model of the cache: an array scanned in full, no
+   index.  Victim = first empty slot, else first least-recently-used. *)
+module Model = struct
+  type t = { tags : int array; last_use : int array; mutable clock : int }
+
+  let create () = { tags = Array.make Apl_cache.capacity (-1); last_use = Array.make Apl_cache.capacity 0; clock = 0 }
+
+  let tick m =
+    m.clock <- m.clock + 1;
+    m.clock
+
+  let lookup m tag =
+    let found = ref None in
+    for i = Apl_cache.capacity - 1 downto 0 do
+      if m.tags.(i) = tag then found := Some i
+    done;
+    match !found with
+    | Some i ->
+        m.last_use.(i) <- tick m;
+        Some i
+    | None -> None
+
+  let install m tag =
+    let victim = ref 0 in
+    for i = 0 to Apl_cache.capacity - 1 do
+      if m.tags.(i) = -1 && m.tags.(!victim) <> -1 then victim := i
+      else if
+        m.tags.(i) <> -1
+        && m.tags.(!victim) <> -1
+        && m.last_use.(i) < m.last_use.(!victim)
+      then victim := i
+    done;
+    m.tags.(!victim) <- tag;
+    m.last_use.(!victim) <- tick m;
+    !victim
+
+  let ensure m tag =
+    match lookup m tag with Some hw -> (hw, true) | None -> (install m tag, false)
+
+  let resident m = Array.to_list m.tags |> List.filter (fun t -> t >= 0)
+end
+
+(* Tag universe deliberately larger than the capacity so the stream
+   forces evictions and re-installs. *)
+let prop_apl_matches_model =
+  QCheck.Test.make ~name:"apl_cache ensure matches naive LRU model" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 45))
+    (fun tags ->
+      let c = Apl_cache.create () in
+      let m = Model.create () in
+      List.for_all
+        (fun tag ->
+          let hw, hit = Apl_cache.ensure c tag in
+          let hw', hit' = Model.ensure m tag in
+          hw = hw' && hit = hit')
+        tags
+      && Apl_cache.resident_tags c = Model.resident m)
+
+let prop_apl_lookup_pure_miss =
+  QCheck.Test.make ~name:"apl_cache lookup misses do not mutate residency" ~count:100
+    QCheck.(pair (list_of_size Gen.(0 -- 40) (int_range 0 45)) (int_range 100 200))
+    (fun (tags, absent) ->
+      let c = Apl_cache.create () in
+      List.iter (fun tag -> ignore (Apl_cache.ensure c tag)) tags;
+      let before = Apl_cache.resident_tags c in
+      let r = Apl_cache.lookup c absent in
+      r = None && Apl_cache.resident_tags c = before)
+
+(* --- memory: unmapped reads, store disjointness, alignment --- *)
+
+let test_memory_unmapped_zero () =
+  let m = Memory.create () in
+  Alcotest.(check int) "never-written word is 0" 0 (Memory.load_word m 0x5000);
+  Alcotest.(check bool) "never-written cap is None" true (Memory.load_cap m 0x5000 = None);
+  Alcotest.(check bool) "never-written instr is None" true (Memory.fetch m 0x5000 = None);
+  (* Writing one page must not materialize values on another. *)
+  Memory.store_word m 0x5000 42;
+  Alcotest.(check int) "same page, other word still 0" 0 (Memory.load_word m 0x5008);
+  Alcotest.(check int) "other page still 0" 0 (Memory.load_word m 0x9000);
+  Alcotest.(check int) "written word reads back" 42 (Memory.load_word m 0x5000);
+  (* Flip between pages: the one-entry page cache must not leak values
+     across pages. *)
+  Memory.store_word m 0x9000 7;
+  Alcotest.(check int) "page A after touching page B" 42 (Memory.load_word m 0x5000);
+  Alcotest.(check int) "page B after touching page A" 7 (Memory.load_word m 0x9000)
+
+let test_memory_word_cap_disjoint () =
+  let m = Memory.create () in
+  let cap =
+    {
+      Capability.base = 0x2000;
+      length = 0x100;
+      perm = Perm.Read;
+      scope = Capability.Synchronous { thread = 0; depth = 0; epoch = 0 };
+    }
+  in
+  (* A word store at a 32-aligned address must not disturb the cap cell
+     there, and vice versa. *)
+  Memory.store_word m 0x4020 0xdead;
+  Alcotest.(check bool) "word store leaves cap store empty" true
+    (Memory.load_cap m 0x4020 = None);
+  Memory.store_cap m 0x4020 cap;
+  Alcotest.(check int) "cap store leaves word intact" 0xdead (Memory.load_word m 0x4020);
+  Alcotest.(check bool) "cap reads back" true (Memory.load_cap m 0x4020 = Some cap);
+  Memory.store_word m 0x4020 0xbeef;
+  Alcotest.(check bool) "word overwrite leaves cap intact" true
+    (Memory.load_cap m 0x4020 = Some cap)
+
+let test_memory_alignment_faults () =
+  let m = Memory.create () in
+  let check_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  check_invalid "unaligned word load" (fun () -> Memory.load_word m 0x1001);
+  check_invalid "word load aligned to 4 only" (fun () -> Memory.load_word m 0x1004);
+  check_invalid "unaligned word store" (fun () -> Memory.store_word m 0x1001 1);
+  check_invalid "unaligned cap load" (fun () -> Memory.load_cap m 0x1008);
+  Alcotest.(check bool) "unaligned fetch is None, not a fault" true
+    (Memory.fetch m 0x1002 = None)
+
+(* --- trace digest: optimized fold equals the byte-at-a-time reference --- *)
+
+(* Independent FNV-1a implementation (the straightforward one the digest
+   documents); nothing here is shared with lib/sim/trace.ml. *)
+let fnv_offset = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+let ref_mix h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+let all_kinds =
+  [
+    Trace.Sched; Trace.Spawn; Trace.Resume; Trace.Suspend; Trace.Ctxsw; Trace.Ipi;
+    Trace.Syscall; Trace.Domain_cross; Trace.Fault; Trace.Charge;
+  ]
+
+let kind_index kind =
+  let rec go i = function
+    | [] -> assert false
+    | k :: rest -> if k = kind then i else go (i + 1) rest
+  in
+  go 0 all_kinds
+
+let ref_event h ~ts ~kind ~cpu ~tid ~tag ~ci ~dur ~arg =
+  let h = ref_mix h (Int64.bits_of_float ts) in
+  let h = ref_mix h (Int64.of_int (kind_index kind)) in
+  let h = ref_mix h (Int64.of_int cpu) in
+  let h = ref_mix h (Int64.of_int tid) in
+  let h = ref_mix h (Int64.of_int tag) in
+  let h = ref_mix h (Int64.of_int ci) in
+  let h = ref_mix h (Int64.bits_of_float dur) in
+  ref_mix h (Int64.of_int arg)
+
+(* Ints spanning every digest dispatch tier: one-byte, -1, two-byte, and
+   arbitrary (including min_int/max_int sign-extension). *)
+let digest_int_gen =
+  QCheck.oneof
+    [
+      QCheck.int_range 0 255;
+      QCheck.always (-1);
+      QCheck.int_range 256 65535;
+      QCheck.int;
+      QCheck.oneofl [ min_int; max_int; -2; 1 lsl 40; -(1 lsl 40) ];
+    ]
+
+(* Floats spanning the fast paths: exact zero, short-mantissa values
+   (low word of the pattern all zero) and arbitrary patterns. *)
+let digest_float_gen =
+  QCheck.oneof
+    [
+      QCheck.always 0.;
+      QCheck.map float_of_int (QCheck.int_range 0 4096);
+      QCheck.map (fun f -> f *. 1e-3) QCheck.pos_float;
+      QCheck.float;
+    ]
+
+let cat_gen = QCheck.oneofl (None :: List.map (fun c -> Some c) Breakdown.all_categories)
+
+let kind_gen = QCheck.oneofl all_kinds
+
+let event_gen =
+  QCheck.pair
+    (QCheck.quad digest_float_gen kind_gen digest_int_gen digest_int_gen)
+    (QCheck.quad digest_int_gen cat_gen digest_float_gen digest_int_gen)
+
+let prop_digest_matches_reference =
+  QCheck.Test.make ~name:"emit digest equals byte-at-a-time FNV-1a" ~count:500
+    (QCheck.list_of_size QCheck.Gen.(1 -- 10) event_gen)
+    (fun events ->
+      let tr = Trace.create ~capacity:4 () in
+      let expected =
+        List.fold_left
+          (fun h ((ts, kind, cpu, tid), (tag, cat, dur, arg)) ->
+            Trace.emit tr ~ts ~cpu ~tid ~tag ?cat ~dur ~arg kind;
+            let ci =
+              match cat with None -> -1 | Some c -> Breakdown.category_index c
+            in
+            ref_event h ~ts ~kind ~cpu ~tid ~tag ~ci ~dur ~arg)
+          fnv_offset events
+      in
+      Trace.digest tr = expected)
+
+let prop_emit_bare_equivalent =
+  QCheck.Test.make ~name:"emit_bare digest-equivalent to emit" ~count:300
+    (QCheck.pair digest_float_gen kind_gen)
+    (fun (ts, kind) ->
+      let a = Trace.create () and b = Trace.create () in
+      Trace.emit a ~ts kind;
+      Trace.emit_bare b ~ts kind;
+      Trace.digest a = Trace.digest b && Trace.events a = Trace.events b)
+
+let prop_emit_charge_equivalent =
+  QCheck.Test.make ~name:"emit_charge digest-equivalent to emit" ~count:300
+    (QCheck.pair
+       (QCheck.quad digest_float_gen digest_int_gen digest_int_gen digest_float_gen)
+       (QCheck.oneofl Breakdown.all_categories))
+    (fun ((ts, cpu, tid, dur), cat) ->
+      let a = Trace.create () and b = Trace.create () in
+      Trace.emit a ~ts ~cpu ~tid ~cat ~dur Trace.Charge;
+      Trace.emit_charge b ~ts ~cpu ~tid ~cat ~dur;
+      Trace.digest a = Trace.digest b && Trace.events a = Trace.events b)
+
+let suites =
+  [
+    ( "perf.heap",
+      qsuite
+        [
+          prop_pop_sorted;
+          prop_fifo_at_equal_times;
+          prop_matches_stable_sort;
+          prop_push_pop_model;
+          prop_pop_min_agrees;
+        ]
+      @ [ Alcotest.test_case "popped payloads not retained" `Quick test_no_payload_retention ]
+    );
+    ( "perf.apl_cache",
+      Alcotest.test_case "reset clears statistics" `Quick test_apl_reset_clears_stats
+      :: qsuite [ prop_apl_matches_model; prop_apl_lookup_pure_miss ] );
+    ( "perf.memory",
+      [
+        Alcotest.test_case "unmapped reads return zero" `Quick test_memory_unmapped_zero;
+        Alcotest.test_case "word and cap stores disjoint" `Quick
+          test_memory_word_cap_disjoint;
+        Alcotest.test_case "alignment faults" `Quick test_memory_alignment_faults;
+      ] );
+    ( "perf.digest",
+      qsuite
+        [
+          prop_digest_matches_reference;
+          prop_emit_bare_equivalent;
+          prop_emit_charge_equivalent;
+        ] );
+  ]
