@@ -1,755 +1,65 @@
-(* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (EuroSys'17, Vilanova et al.).
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation (EuroSys'17, Vilanova et al.).  The experiments live in
+   [bench/suite.ml] (library [dipc_bench_suite]) so the test suite can
+   link them.
 
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig5    -- one experiment
      experiments: fig1 fig2 table1 fig5 fig6 fig7 fig8 sens-calls sens-caps
-                  stub-coopt templates bechamel
+                  stub-coopt templates ablate ablate-gvas bechamel
 
-   Absolute numbers come from the calibrated simulation substrate (see
-   DESIGN.md); the quantities to compare against the paper are the ratios
-   and shapes, which EXPERIMENTS.md records side by side. *)
+   Modes:
+     --trace [FILE]     fixed-config traced run, Chrome trace + digest
+     --json  [FILE]     fixed-seed digest suite, machine-readable JSON
+     --matrix           fault-injection matrix over every IPC primitive
+                        and the OLTP/netpipe workloads
 
-module Costs = Dipc_sim.Costs
-module Breakdown = Dipc_sim.Breakdown
-module Stats = Dipc_sim.Stats
-module Types = Dipc_core.Types
-module Scenario = Dipc_core.Scenario
-module Entry = Dipc_core.Entry
-module Proxy = Dipc_core.Proxy
-module Isolation = Dipc_core.Isolation
-module Archcmp = Dipc_hw.Archcmp
-module M = Dipc_workloads.Microbench
-module O = Dipc_workloads.Oltp
-module N = Dipc_workloads.Netpipe
-module S = Dipc_workloads.Sensitivity
+   Flags (recognised anywhere on the command line):
+     --check            attach the online invariant checker to traced runs
+     --inject SEED      install a seeded fault injector (same seed =>
+                        byte-identical injected digest) *)
 
-let header title =
-  Printf.printf "\n==============================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "==============================================================\n%!"
-
-(* --- measured dIPC costs shared by several experiments --- *)
-
-let dipc_costs = lazy (
-  let m kind =
-    (Scenario.measure kind).Stats.s_mean
-  in
-  let low_same = m (Scenario.make ~same_process:true ()) in
-  let high_same =
-    m (Scenario.make ~same_process:true ~caller_props:Types.props_high
-         ~callee_props:Types.props_high ())
-  in
-  let low_proc = m (Scenario.make ()) in
-  let high_proc =
-    m (Scenario.make ~caller_props:Types.props_high ~callee_props:Types.props_high ())
-  in
-  let low_proc_tls = m (Scenario.make ~tls_optimized:true ()) in
-  let high_proc_tls =
-    m (Scenario.make ~tls_optimized:true ~caller_props:Types.props_high
-         ~callee_props:Types.props_high ())
-  in
-  (low_same, high_same, low_proc, high_proc, low_proc_tls, high_proc_tls))
-
-(* ================= Figure 1 ================= *)
-
-let fig1 () =
-  header
-    "Figure 1: OLTP web stack time breakdown, Linux (process isolation)\n\
-     vs Ideal (unsafe single process); in-memory DB, 96 threads";
-  let threads = 96 in
-  let run config = O.run ~config ~db_mode:O.In_memory ~threads () in
-  let lx = run O.Linux and id = run O.Ideal in
-  let show (r : O.result) =
-    Printf.printf
-      "  %-14s avg op latency %7.2f ms | user %4.1f%%  kernel %4.1f%%  idle %4.1f%%\n"
-      (O.config_name r.O.r_config)
-      (r.O.r_latency_ns.Stats.s_mean /. 1e6)
-      (100. *. r.O.r_user_frac) (100. *. r.O.r_kernel_frac)
-      (100. *. r.O.r_idle_frac)
-  in
-  show lx;
-  show id;
-  Printf.printf "  IPC overhead: Ideal runs %.2fx faster than Linux (paper: 1.92x)\n"
-    (id.O.r_throughput_opm /. lx.O.r_throughput_opm);
-  Printf.printf "  (paper breakdown: Linux 51%%/23%%/24%%, Ideal 81%%/16%%/1%%)\n%!"
-
-(* ================= Figure 2 ================= *)
-
-let fig2 () =
-  header
-    "Figure 2: time breakdown of IPC primitives (1-byte argument)\n\
-     blocks: user / syscall+swapgs+sysret / dispatch / kernel / sched / page table / idle";
-  let show name (r : M.result) =
-    Printf.printf "  %-22s total %7.1f ns\n" name r.M.mean_ns;
-    Array.iteri
-      (fun i bd ->
-        if Breakdown.total bd > 1. then begin
-          Printf.printf "    CPU %d:" (i + 1);
-          List.iter
-            (fun (c, v) -> Printf.printf "  %s=%.0f" (Breakdown.category_name c) v)
-            (Breakdown.to_list bd);
-          print_newline ()
-        end)
-      r.M.per_cpu
-  in
-  Printf.printf "  (function call: %.1f ns; empty syscall: %.1f ns)\n"
-    Costs.function_call Costs.syscall_total;
-  List.iter
-    (fun (p, same) ->
-      let tag = if same then "(=CPU)" else "(!=CPU)" in
-      show (M.primitive_name p ^ " " ^ tag) (M.run ~same_cpu:same p))
-    [
-      (M.Sem, true); (M.Sem, false);
-      (M.L4, true); (M.L4, false);
-      (M.Local_rpc, true); (M.Local_rpc, false);
-    ];
-  flush stdout
-
-(* ================= Table 1 ================= *)
-
-let table1 () =
-  header
-    "Table 1: best-case round-trip domain switch (S) and bulk data\n\
-     communication (D, 4 KiB) on different architectures";
-  List.iter
-    (fun r ->
-      Printf.printf "  %-16s S: %-56s = %7.1f ns\n" (Archcmp.arch_name r.Archcmp.row_arch)
-        (Archcmp.ops_summary r.Archcmp.switch)
-        r.Archcmp.switch_cost;
-      Printf.printf "  %-16s D: %-56s = %7.1f ns\n" ""
-        (Archcmp.ops_summary r.Archcmp.data)
-        r.Archcmp.data_cost)
-    (Archcmp.table ~bytes:4096);
-  flush stdout
-
-(* ================= Figure 5 ================= *)
-
-let fig5 () =
-  header "Figure 5: performance of synchronous calls (1-byte argument)";
-  let low_same, high_same, low_proc, high_proc, low_tls, high_tls =
-    Lazy.force dipc_costs
-  in
-  let row name ns = Printf.printf "  %-28s %8.1f ns  (%6.0fx func call)\n" name ns (ns /. Costs.function_call) in
-  row "Function call" Costs.function_call;
-  row "Syscall" Costs.syscall_total;
-  row "dIPC - Low (=CPU)" low_same;
-  row "dIPC - High (=CPU)" high_same;
-  let sem_s = (M.run ~same_cpu:true M.Sem).M.mean_ns in
-  let sem_d = (M.run ~same_cpu:false M.Sem).M.mean_ns in
-  let pipe_s = (M.run ~same_cpu:true M.Pipe).M.mean_ns in
-  let pipe_d = (M.run ~same_cpu:false M.Pipe).M.mean_ns in
-  let l4_s = (M.run ~same_cpu:true M.L4).M.mean_ns in
-  let rpc_s = (M.run ~same_cpu:true M.Local_rpc).M.mean_ns in
-  let rpc_d = (M.run ~same_cpu:false M.Local_rpc).M.mean_ns in
-  let tcp_s = (M.run ~same_cpu:true M.Tcp_rpc_prim).M.mean_ns in
-  let urpc = (M.run ~same_cpu:false M.User_rpc_prim).M.mean_ns in
-  row "Sem. (=CPU)" sem_s;
-  row "Sem. (!=CPU)" sem_d;
-  row "Pipe (=CPU)" pipe_s;
-  row "Pipe (!=CPU)" pipe_d;
-  row "L4 (=CPU)" l4_s;
-  row "dIPC +proc - Low (=CPU)" low_proc;
-  row "dIPC +proc - High (=CPU)" high_proc;
-  row "Local RPC (=CPU)" rpc_s;
-  row "Local RPC (!=CPU)" rpc_d;
-  row "TCP RPC (=CPU) [extension]" tcp_s;
-  row "dIPC - User RPC (!=CPU)" urpc;
-  Printf.printf "\n  Headline ratios (paper values in parentheses):\n";
-  Printf.printf "    dIPC vs local RPC       : %6.2fx  (64.12x)\n" (rpc_s /. high_proc);
-  Printf.printf "    dIPC vs L4 IPC          : %6.2fx  (8.87x)\n" (l4_s /. high_proc);
-  Printf.printf "    dIPC+proc High vs Sem.  : %6.2fx  (14.16x)\n" (sem_s /. high_proc);
-  Printf.printf "    dIPC+proc Low vs RPC    : %6.2fx  (120.67x)\n" (rpc_s /. low_proc);
-  Printf.printf "    asymmetric policy range : %6.2fx  (up to 8.47x)\n"
-    (high_same /. low_same);
-  Printf.printf "    TLS-switch headroom     : %5.2fx / %5.2fx  (1.54x-3.22x)\n%!"
-    (low_proc /. low_tls) (high_proc /. high_tls)
-
-(* ================= Figure 6 ================= *)
-
-let fig6 () =
-  header
-    "Figure 6: added execution time vs argument size (consumer-producer\n\
-     synchronous call; baseline = function call with the same payload)";
-  let low_same, high_same, low_proc, high_proc, _, _ = Lazy.force dipc_costs in
-  let urpc_fixed bytes =
-    (M.run ~bytes ~warmup:10 ~iters:60 ~same_cpu:false M.User_rpc_prim).M.mean_ns
-    -. M.baseline_payload_ns bytes
-  in
-  let added prim bytes =
-    (M.run ~bytes ~warmup:10 ~iters:60 ~same_cpu:false prim).M.mean_ns
-    -. M.baseline_payload_ns bytes
-  in
-  let sizes = [ 1; 16; 256; 4096; 32768; 262144; 1048576 ] in
-  Printf.printf
-    "  %-10s %12s %12s %12s %12s %12s %12s %12s\n" "size[B]" "Syscall" "Sem(!=)"
-    "Pipe(!=)" "RPC(!=)" "dIPC-Low" "dIPC-High" "dIPC-URPC";
-  List.iter
-    (fun bytes ->
-      (* dIPC passes the argument by reference: its added time is the call
-         overhead, independent of size. *)
-      Printf.printf "  %-10d %12.0f %12.0f %12.0f %12.0f %12.0f %12.0f %12.0f\n"
-        bytes Costs.syscall_total (added M.Sem bytes) (added M.Pipe bytes)
-        (added M.Local_rpc bytes) low_same high_same (urpc_fixed bytes))
-    sizes;
-  Printf.printf
-    "  (L1$ boundary at %d B, L2$ at %d B; dIPC flat, copies grow: the\n\
-    \   'distance grows with size' effect; +proc variants add %.0f/%.0f ns)\n%!"
-    Costs.l1_size Costs.l2_size low_proc high_proc
-
-(* ================= Figure 7 ================= *)
-
-let netpipe_costs () =
-  let _, _, low_proc, _, _, _ = Lazy.force dipc_costs in
-  let low_same, _, _, _, _, _ = Lazy.force dipc_costs in
-  {
-    N.sem_roundtrip = (M.run ~same_cpu:true M.Sem).M.mean_ns;
-    pipe_roundtrip = (M.run ~same_cpu:true M.Pipe).M.mean_ns;
-    dipc_proc_call = low_proc;
-    dipc_same_call = low_same;
-  }
-
-let fig7 () =
-  header
-    "Figure 7: latency and bandwidth overheads of isolating the\n\
-     Infiniband user-level driver (netpipe model)";
-  let c = netpipe_costs () in
-  let mechs = [ N.Pipe_ipc; N.Sem_ipc; N.Kernel_driver; N.Dipc_proc; N.Dipc_same ] in
-  let sizes = [ 1; 4; 16; 64; 256; 1024; 4096 ] in
-  Printf.printf "  latency overhead [%%]:\n  %-10s" "size[B]";
-  List.iter (fun m -> Printf.printf " %16s" (N.mechanism_name m)) mechs;
-  print_newline ();
-  List.iter
-    (fun bytes ->
-      Printf.printf "  %-10d" bytes;
-      List.iter
-        (fun m -> Printf.printf " %16.1f" (N.latency_overhead_pct c m ~bytes))
-        mechs;
-      print_newline ())
-    sizes;
-  Printf.printf "\n  bandwidth overhead [%%]:\n  %-10s" "size[B]";
-  List.iter (fun m -> Printf.printf " %16s" (N.mechanism_name m)) mechs;
-  print_newline ();
-  List.iter
-    (fun bytes ->
-      Printf.printf "  %-10d" bytes;
-      List.iter
-        (fun m -> Printf.printf " %16.1f" (N.bandwidth_overhead_pct c m ~bytes))
-        mechs;
-      print_newline ())
-    sizes;
-  Printf.printf
-    "  (paper: only dIPC sustains ~1%% latency overhead; syscalls ~10%%;\n\
-    \   IPC >100%% latency and >60%% bandwidth loss at 4 KiB)\n%!"
-
-(* ================= Figure 8 ================= *)
-
-let fig8 () =
-  header
-    "Figure 8: OLTP web stack throughput [ops/min], 4 CPUs,\n\
-     4..512 threads per component";
-  let concurrencies = [ 4; 16; 64; 256; 512 ] in
-  List.iter
-    (fun db_mode ->
-      Printf.printf "\n  --- %s DB ---\n"
-        (match db_mode with O.On_disk -> "on-disk" | O.In_memory -> "in-memory");
-      Printf.printf "  %-8s %12s %12s %8s %12s %8s %8s\n" "threads" "Linux" "dIPC"
-        "(x)" "Ideal" "(x)" "dIPC/Ideal";
-      List.iter
-        (fun threads ->
-          let r config = O.run ~config ~db_mode ~threads () in
-          let lx = r O.Linux and dp = r O.Dipc and id = r O.Ideal in
-          Printf.printf "  %-8d %12.0f %12.0f %7.2fx %12.0f %7.2fx %9.1f%%\n%!"
-            threads lx.O.r_throughput_opm dp.O.r_throughput_opm
-            (dp.O.r_throughput_opm /. lx.O.r_throughput_opm)
-            id.O.r_throughput_opm
-            (id.O.r_throughput_opm /. lx.O.r_throughput_opm)
-            (100. *. dp.O.r_throughput_opm /. id.O.r_throughput_opm))
-        concurrencies)
-    [ O.On_disk; O.In_memory ];
-  Printf.printf
-    "\n  (paper speedups, on-disk: 2.23/3.18/1.80/1.39/1.11; in-memory:\n\
-    \   2.42/5.12/2.62/1.81/1.17; dIPC always above 94%% of Ideal)\n%!"
-
-(* ================= Sec. 7.5 sensitivity ================= *)
-
-let sens_calls () =
-  header
-    "Sec. 7.5(a): how much slower could hardware domain crossings get\n\
-     before dIPC loses its benefit?";
-  let threads = 256 in
-  let dp = O.run ~config:O.Dipc ~db_mode:O.In_memory ~threads () in
-  let lx = O.run ~config:O.Linux ~db_mode:O.In_memory ~threads () in
-  let p = O.default_params ~db_mode:O.In_memory ~threads in
-  (* At saturation, throughput is CPU-bound: machine-seconds per op is the
-     relevant cost of each configuration (the paper's accounting). *)
-  let cpu_per_op (r : O.result) = 4. *. 60e9 /. r.O.r_throughput_opm in
-  let a =
-    S.crossing
-      ~calls_per_op:(O.crossings_per_op p)
-      ~call_ns:Costs.oltp_dipc_call_pressure
-      ~linux_op_ns:(cpu_per_op lx) ~dipc_op_ns:(cpu_per_op dp)
-  in
-  Printf.printf "  calls per operation        : %d (paper: 211)\n" a.S.ca_calls_per_op;
-  Printf.printf "  average call cost          : %.0f ns (paper: 252 ns)\n" a.S.ca_call_ns;
-  Printf.printf "  break-even call cost       : %.0f ns\n" a.S.ca_max_call_ns;
-  Printf.printf "  tolerable slowdown margin  : %.1fx (paper: 14x)\n%!"
-    a.S.ca_slowdown_margin
-
-let sens_caps () =
-  header
-    "Sec. 7.5(b): worst-case capability-load overhead (every cross-domain\n\
-     access pays an extra capability load)";
-  let threads = 256 in
-  let dp = O.run ~config:O.Dipc ~db_mode:O.In_memory ~threads () in
-  let lx = O.run ~config:O.Linux ~db_mode:O.In_memory ~threads () in
-  let speedup = dp.O.r_throughput_opm /. lx.O.r_throughput_opm in
-  (* ~2% of accesses cross domains (paper); accesses/op scaled from the
-     op's CPU time at ~1 access/2ns. *)
-  let a =
-    S.capability_loads ~cross_access_frac:0.02
-      ~accesses_per_op:(dp.O.r_latency_ns.Stats.s_mean /. 2.)
-      ~dipc_op_ns:dp.O.r_latency_ns.Stats.s_mean ~speedup
-  in
-  Printf.printf "  cross-domain access fraction : %.1f%% (paper: ~2%%)\n"
-    (100. *. a.S.cl_cross_access_frac);
-  Printf.printf "  modelled capability load     : %.1f ns\n" a.S.cl_cap_load_ns;
-  Printf.printf "  throughput overhead          : %.1f%% (paper: 12%%)\n"
-    (100. *. a.S.cl_overhead_frac);
-  Printf.printf "  residual speedup over Linux  : %.2fx (paper: 1.59x)\n%!"
-    a.S.cl_residual_speedup
-
-let stub_coopt () =
-  header "Sec. 5.3.1: exception recovery, setjmp vs compiler-co-optimised try";
-  let setjmp, try_ = Isolation.exception_recovery_costs () in
-  Printf.printf "  setjmp-based recovery : %.1f ns/call site\n" setjmp;
-  Printf.printf "  try-based recovery    : %.1f ns/call site\n" try_;
-  Printf.printf "  ratio                 : %.2fx (paper: ~2.5x)\n%!" (setjmp /. try_)
-
-let templates () =
-  header "Sec. 6.1.1: proxy template statistics";
-  (* Instantiate a representative spread of specialisations. *)
-  let combos =
-    [
-      (false, Types.props_low, Types.props_low);
-      (false, Types.props_high, Types.props_high);
-      (true, Types.props_low, Types.props_low);
-      (true, Types.props_high, Types.props_high);
-      (true, Types.props_high, Types.props_low);
-      (true, Types.props_low, Types.props_high);
-    ]
-  in
-  List.iter
-    (fun (same, cp, kp) ->
-      List.iter
-        (fun sig_ ->
-          ignore
-            (Scenario.make ~same_process:same ~caller_props:cp ~callee_props:kp
-               ~sig_ ()))
-        [
-          Types.signature ~args:1 ~rets:1 ();
-          Types.signature ~args:4 ~rets:1 ~stack_bytes:32 ();
-          Types.signature ~args:2 ~rets:1 ~cap_args:2 ~cap_rets:1 ();
-        ])
-    combos;
-  let count, bytes = Proxy.stats Entry.template_cache in
-  Printf.printf "  distinct templates instantiated : %d\n"
-    (Proxy.template_count Entry.template_cache);
-  Printf.printf "  proxies generated               : %d\n" count;
-  Printf.printf "  average proxy size              : %d B (paper: ~600 B)\n%!"
-    (if count = 0 then 0 else bytes / count)
-
-(* ================= ablation ================= *)
-
-(* The design-choice ablation DESIGN.md calls out: each isolation property
-   has its own price, and dIPC only pays for what the two sides request
-   (Sec. 5.2.3).  The rows isolate one property at a time; the deltas are
-   the marginal cost of that property's stub/proxy code. *)
-let ablate () =
-  header
-    "Ablation: marginal cost of each isolation property\n\
-     (caller and callee both request only the listed property)";
-  let rows =
-    [
-      ("none (Low)", Types.props_none);
-      ("register integrity", { Types.props_none with Types.reg_integrity = true });
-      ( "register confidentiality",
-        { Types.props_none with Types.reg_confidentiality = true } );
-      ("stack integrity", { Types.props_none with Types.stack_integrity = true });
-      ( "stack confidentiality",
-        { Types.props_none with Types.stack_confidentiality = true } );
-      ("DCS integrity", { Types.props_none with Types.dcs_integrity = true });
-      ( "DCS confidentiality",
-        { Types.props_none with Types.dcs_confidentiality = true } );
-      ("all (High)", Types.props_high);
-    ]
-  in
-  let measure ~same props =
-    (Scenario.measure
-       (Scenario.make ~same_process:same ~caller_props:props ~callee_props:props ()))
-      .Stats.s_mean
-  in
-  let base_same = measure ~same:true Types.props_none in
-  let base_cross = measure ~same:false Types.props_none in
-  Printf.printf "  %-26s %14s %10s %14s %10s\n" "property" "same-proc[ns]" "delta"
-    "cross-proc[ns]" "delta";
-  List.iter
-    (fun (name, props) ->
-      let s = measure ~same:true props and c = measure ~same:false props in
-      Printf.printf "  %-26s %14.1f %+10.1f %14.1f %+10.1f\n" name s
-        (s -. base_same) c (c -. base_cross))
-    rows;
-  Printf.printf
-    "\n  (the jump from 'none' to any single property on the same-process\n\
-    \   side also shows the lean->full template transition, Sec. 6.1.1)\n%!"
-
-(* GVAS allocation contention (Sec. 7.4 notes global block allocation
-   contends and suggests per-CPU pools). *)
-let ablate_gvas () =
-  header
-    "Ablation: global vs per-CPU GVAS block allocation (the Sec. 7.4\n\
-     scalability fix)";
-  let block_alloc_cost = 1200. (* global lock + tree insert, ns *) in
-  List.iter
-    (fun cpus ->
-      let contended = block_alloc_cost *. float_of_int cpus in
-      Printf.printf
-        "  %2d CPUs: global pool %7.1f ns/alloc under full contention; per-CPU pools %7.1f ns (%.1fx)\n"
-        cpus contended block_alloc_cost (contended /. block_alloc_cost))
-    [ 1; 2; 4; 8; 16 ];
-  flush stdout
-
-(* ================= bechamel ================= *)
-
-let bechamel () =
-  header
-    "Bechamel: real OCaml-level cost of the hot simulator operations\n\
-     (ns per operation on this host)";
-  let open Bechamel in
-  let scenario = Scenario.make () in
-  let cache = Dipc_hw.Apl_cache.create () in
-  for tag = 1 to 16 do
-    ignore (Dipc_hw.Apl_cache.install cache tag)
-  done;
-  let tests =
-    [
-      Test.make ~name:"dipc_warm_call(sim)"
-        (Staged.stage (fun () -> ignore (Scenario.call scenario ~args:[ 1; 2 ])));
-      Test.make ~name:"apl_cache_lookup"
-        (Staged.stage (fun () -> ignore (Dipc_hw.Apl_cache.lookup cache 7)));
-      Test.make ~name:"proxy_generation"
-        (Staged.stage (fun () ->
-             let m = Dipc_hw.Memory.create () in
-             let cache = Proxy.cache_create () in
-             ignore
-               (Proxy.generate cache ~mem:m ~base:0x1000 ~target_addr:0x8000
-                  ~target_tag:3
-                  {
-                    Proxy.sig_ = Types.signature ~args:2 ~rets:1 ();
-                    eff = Types.props_high;
-                    cross_process = true;
-                    tls_switch = true;
-                  })));
-    ]
-  in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg [ instance ] test in
-      let results = Analyze.all ols instance raw in
-      Hashtbl.iter
-        (fun name est ->
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "  %-24s %12.1f ns/op\n" name ns
-          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
-        results)
-    tests;
-  flush stdout
-
-(* ================= fixed-seed benchmark suite (--json) ================= *)
-
-(* `--json FILE` runs a fixed-seed suite spanning every hot layer of the
-   substrate (raw machine interpreter, event engine, kernel microbenches,
-   end-to-end OLTP) and writes a machine-readable BENCH_*.json (schema
-   dipc-bench/v1, documented in EXPERIMENTS.md).  The suite is the
-   regression anchor for wall-clock performance: CI compares its golden
-   replay digest against the committed baseline and enforces a generous
-   wall-clock budget, so the substrate can be optimized aggressively as
-   long as the simulated timeline stays bit-identical. *)
-
-module Trace = Dipc_sim.Trace
-module Engine = Dipc_sim.Engine
-module Machine = Dipc_hw.Machine
-module Page_table = Dipc_hw.Page_table
-module Apl = Dipc_hw.Apl
-module Isa = Dipc_hw.Isa
-
-type bench_result = {
-  b_name : string;
-  b_wall_s : float;  (* host seconds for the experiment *)
-  b_sim_ns : float;  (* simulated nanoseconds covered *)
-  b_events : int;  (* trace events (traced runs) or raw steps *)
-  b_digest : string;  (* replay digest / deterministic state summary *)
-  b_metric_name : string;
-  b_metric : float;
-}
-
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-(* The exact configuration of test_trace's golden digest: Sem, same CPU,
-   warmup 5, 20 measured iterations.  Its digest is the suite's
-   acceptance gate. *)
-let bench_golden () =
-  let (tr, r), wall =
-    timed (fun () ->
-        let tr = Trace.create () in
-        let r = M.run ~warmup:5 ~iters:20 ~trace:tr ~same_cpu:true M.Sem in
-        (tr, r))
-  in
-  {
-    b_name = "golden_sem_same";
-    b_wall_s = wall;
-    b_sim_ns = r.M.mean_ns *. 20.;
-    b_events = Trace.total tr;
-    b_digest = Trace.digest_hex tr;
-    b_metric_name = "mean_ns";
-    b_metric = r.M.mean_ns;
-  }
-
-let bench_micro name prim ~same_cpu =
-  let (tr, r), wall =
-    timed (fun () ->
-        let tr = Trace.create () in
-        let r = M.run ~trace:tr ~same_cpu prim in
-        (tr, r))
-  in
-  {
-    b_name = name;
-    b_wall_s = wall;
-    b_sim_ns = r.M.mean_ns *. 200.;
-    b_events = Trace.total tr;
-    b_digest = Trace.digest_hex tr;
-    b_metric_name = "mean_ns";
-    b_metric = r.M.mean_ns;
-  }
-
-let bench_oltp name config =
-  let (tr, r), wall =
-    timed (fun () ->
-        let tr = Trace.create () in
-        let r = O.run ~trace:tr ~config ~db_mode:O.In_memory ~threads:96 () in
-        (tr, r))
-  in
-  let p = O.default_params ~db_mode:O.In_memory ~threads:96 in
-  {
-    b_name = name;
-    b_wall_s = wall;
-    b_sim_ns = p.O.warmup +. p.O.duration;
-    b_events = Trace.total tr;
-    b_digest = Trace.digest_hex tr;
-    b_metric_name = "throughput_opm";
-    b_metric = r.O.r_throughput_opm;
-  }
-
-(* Raw interpreter hot loop: straight-line fetch/load/store on one domain,
-   no tracing — measures the machine/memory substrate alone. *)
-let hotloop_iters = 400_000
-
-let bench_machine_hotloop () =
-  let (ctx, final_word), wall =
-    timed (fun () ->
-        let m = Machine.create () in
-        let tag = Apl.fresh_tag m.Machine.apl in
-        let code = 0x100000 and data = 0x200000 in
-        Page_table.map m.Machine.page_table ~addr:code ~count:1 ~tag
-          ~writable:false ~executable:true ();
-        Page_table.map m.Machine.page_table ~addr:data ~count:4 ~tag ();
-        let loop = code + (3 * Isa.instr_bytes) in
-        ignore
-          (Dipc_hw.Memory.place_code m.Machine.mem ~addr:code
-             [
-               Isa.Const (1, data);
-               Isa.Const (2, 0);
-               Isa.Const (3, hotloop_iters);
-               (* loop: *)
-               Isa.Load (4, 1, 0);
-               Isa.Addi (4, 4, 1);
-               Isa.Store (1, 8, 4);
-               Isa.Load (5, 1, 8);
-               Isa.Store (1, 0, 5);
-               Isa.Addi (2, 2, 1);
-               Isa.Blt (2, 3, loop);
-               Isa.Halt;
-             ]);
-        let ctx = Machine.new_ctx m ~pc:code ~sp_value:(data + (4 * 4096)) in
-        Machine.run ~fuel:((hotloop_iters * 8) + 100) m ctx;
-        (ctx, Machine.peek_word m ~addr:data))
-  in
-  {
-    b_name = "machine_hotloop";
-    b_wall_s = wall;
-    b_sim_ns = ctx.Machine.cost;
-    b_events = ctx.Machine.instret;
-    b_digest =
-      Printf.sprintf "instret=%d cost=%.0f mem=%d" ctx.Machine.instret
-        ctx.Machine.cost final_word;
-    b_metric_name = "minstr_per_s";
-    b_metric = float_of_int ctx.Machine.instret /. wall /. 1e6;
-  }
-
-(* Event-engine churn: many threads hammering the timer heap, no tracing —
-   measures the engine/heap substrate alone. *)
-let bench_engine_timerstorm () =
-  let (now, steps, acc), wall =
-    timed (fun () ->
-        let e = Engine.create () in
-        let acc = ref 0 in
-        for i = 0 to 49 do
-          Engine.spawn e (fun () ->
-              for _ = 1 to 10_000 do
-                Engine.delay (float_of_int (1 + (i mod 7)));
-                incr acc
-              done)
-        done;
-        Engine.run e;
-        (Engine.now e, Engine.steps e, !acc))
-  in
-  {
-    b_name = "engine_timerstorm";
-    b_wall_s = wall;
-    b_sim_ns = now;
-    b_events = steps;
-    b_digest = Printf.sprintf "now=%.0f steps=%d acc=%d" now steps acc;
-    b_metric_name = "events_per_s";
-    b_metric = float_of_int steps /. wall;
-  }
-
-let bench_suite () =
-  [
-    bench_golden ();
-    bench_micro "sem_same" M.Sem ~same_cpu:true;
-    bench_micro "sem_diff" M.Sem ~same_cpu:false;
-    bench_micro "pipe_same" M.Pipe ~same_cpu:true;
-    bench_micro "pipe_diff" M.Pipe ~same_cpu:false;
-    bench_micro "l4_same" M.L4 ~same_cpu:true;
-    bench_micro "rpc_same" M.Local_rpc ~same_cpu:true;
-    bench_micro "rpc_diff" M.Local_rpc ~same_cpu:false;
-    bench_oltp "oltp_linux_mem96" O.Linux;
-    bench_oltp "oltp_dipc_mem96" O.Dipc;
-    bench_oltp "oltp_ideal_mem96" O.Ideal;
-    bench_machine_hotloop ();
-    bench_engine_timerstorm ();
-  ]
-
-let write_bench_json out results =
-  let total_wall = List.fold_left (fun a r -> a +. r.b_wall_s) 0. results in
-  let total_events = List.fold_left (fun a r -> a + r.b_events) 0 results in
-  let golden =
-    match List.find_opt (fun r -> r.b_name = "golden_sem_same") results with
-    | Some r -> r.b_digest
-    | None -> ""
-  in
-  let oc = open_out out in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"dipc-bench/v1\",\n";
-  Printf.fprintf oc "  \"suite\": \"fixed-seed-v1\",\n";
-  Printf.fprintf oc "  \"ocaml_version\": \"%s\",\n" Sys.ocaml_version;
-  Printf.fprintf oc "  \"golden_digest\": \"%s\",\n" golden;
-  Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" total_wall;
-  Printf.fprintf oc "  \"total_events\": %d,\n" total_events;
-  Printf.fprintf oc "  \"events_per_sec\": %.1f,\n"
-    (float_of_int total_events /. total_wall);
-  Printf.fprintf oc "  \"experiments\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"sim_ns\": %.3f, \
-         \"events\": %d, \"events_per_sec\": %.1f, \"digest\": \"%s\", \
-         \"metric_name\": \"%s\", \"metric\": %.6f}%s\n"
-        r.b_name r.b_wall_s r.b_sim_ns r.b_events
-        (float_of_int r.b_events /. r.b_wall_s)
-        r.b_digest r.b_metric_name r.b_metric
-        (if i = List.length results - 1 then "" else ","))
-    results;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
-
-let bench_json out =
-  header "Fixed-seed benchmark suite (machine-readable)";
-  let results = bench_suite () in
-  List.iter
-    (fun r ->
-      Printf.printf "  %-20s %8.3f s  %9d events  %12.0f ev/s  %s=%.1f\n"
-        r.b_name r.b_wall_s r.b_events
-        (float_of_int r.b_events /. r.b_wall_s)
-        r.b_metric_name r.b_metric)
-    results;
-  let total_wall = List.fold_left (fun a r -> a +. r.b_wall_s) 0. results in
-  Printf.printf "  total wall: %.3f s\n" total_wall;
-  (match List.find_opt (fun r -> r.b_name = "golden_sem_same") results with
-  | Some r -> Printf.printf "  golden digest: %s\n" r.b_digest
-  | None -> ());
-  write_bench_json out results;
-  Printf.printf "  wrote %s\n%!" out
-
-(* ================= trace smoke ================= *)
-
-(* Fixed-configuration microbench under event tracing: the printed replay
-   digest must be identical across invocations (the CI determinism
-   check), and the exported JSON opens in chrome://tracing/Perfetto. *)
-let trace_smoke out =
-  let tr = Dipc_sim.Trace.create () in
-  let r = M.run ~warmup:5 ~iters:20 ~trace:tr ~same_cpu:true M.Sem in
-  let oc = open_out out in
-  Dipc_sim.Trace.write_chrome oc tr;
-  close_out oc;
-  Printf.printf "trace smoke: Sem (=CPU), 20 iterations, mean %.1f ns\n" r.M.mean_ns;
-  Printf.printf "trace events: %d\n" (Dipc_sim.Trace.total tr);
-  Printf.printf "trace digest: %s\n" (Dipc_sim.Trace.digest_hex tr);
-  Printf.printf "trace file: %s\n%!" out
-
-(* ================= driver ================= *)
-
-let experiments =
-  [
-    ("fig1", fig1);
-    ("fig2", fig2);
-    ("table1", table1);
-    ("fig5", fig5);
-    ("fig6", fig6);
-    ("fig7", fig7);
-    ("fig8", fig8);
-    ("sens-calls", sens_calls);
-    ("sens-caps", sens_caps);
-    ("stub-coopt", stub_coopt);
-    ("templates", templates);
-    ("ablate", ablate);
-    ("ablate-gvas", ablate_gvas);
-    ("bechamel", bechamel);
-  ]
+module Suite = Dipc_bench_suite.Suite
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract check inject acc = function
+    | [] -> (check, inject, List.rev acc)
+    | "--check" :: rest -> extract true inject acc rest
+    | [ "--inject" ] ->
+        Printf.eprintf "--inject needs an integer seed\n";
+        exit 2
+    | "--inject" :: s :: rest -> (
+        match int_of_string_opt s with
+        | Some seed -> extract check (Some seed) acc rest
+        | None ->
+            Printf.eprintf "--inject needs an integer seed, got %S\n" s;
+            exit 2)
+    | x :: rest -> extract check inject (x :: acc) rest
+  in
+  let check, inject_seed, args = extract false None [] args in
   match args with
   | "--trace" :: rest ->
-      trace_smoke (match rest with out :: _ -> out | [] -> "trace.json")
+      Suite.trace_smoke (match rest with out :: _ -> out | [] -> "trace.json")
   | "--json" :: rest ->
-      bench_json (match rest with out :: _ -> out | [] -> "BENCH_fixed_seed.json")
-  | [] -> List.iter (fun (_, f) -> f ()) experiments
+      Suite.bench_json ~check ?inject_seed
+        (match rest with out :: _ -> out | [] -> "BENCH_fixed_seed.json")
+  | "--matrix" :: _ ->
+      let runs, faults = Suite.fault_matrix ~verbose:true ?seed:inject_seed () in
+      Printf.printf "fault matrix: %d runs checked, %d faults injected\n%!" runs
+        faults
+  | [] ->
+      if check || inject_seed <> None then
+        (* flags without a mode: run the digest suite under them *)
+        Suite.bench_json ~check ?inject_seed "BENCH_fixed_seed.json"
+      else List.iter (fun (_, f) -> f ()) Suite.experiments
   | names ->
       List.iter
         (fun name ->
-          match List.assoc_opt name experiments with
+          match List.assoc_opt name Suite.experiments with
           | Some f -> f ()
           | None ->
               Printf.eprintf "unknown experiment %s; available: %s\n" name
-                (String.concat " " (List.map fst experiments));
+                (String.concat " " (List.map fst Suite.experiments));
               exit 1)
         names

@@ -11,6 +11,8 @@
 module Costs = Dipc_sim.Costs
 module Stats = Dipc_sim.Stats
 module Trace = Dipc_sim.Trace
+module Inject = Dipc_sim.Inject
+module Checker = Dipc_sim.Checker
 module Types = Dipc_core.Types
 module Scenario = Dipc_core.Scenario
 module Proxy = Dipc_core.Proxy
@@ -42,6 +44,51 @@ let cross =
 
 let tls_opt =
   Arg.(value & flag & info [ "tls-opt" ] ~doc:"optimised TLS mode (Sec. 6.1.2)")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inject" ] ~docv:"SEED"
+        ~doc:
+          "install a seeded fault injector (delayed/lost IPIs, spurious \
+           futex wakeups, forced preemptions); the same seed reproduces \
+           the same fault schedule")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "run under event tracing with the online invariant checker \
+           attached; any scheduler-invariant violation aborts loudly")
+
+(* One injector per run from the CLI seed; [None] leaves every hook a
+   no-op. *)
+let mk_inject = Option.map (fun seed -> Inject.create ~seed ())
+
+let mk_checker check =
+  if not check then (None, None)
+  else begin
+    let tr = Trace.create () in
+    let c = Checker.create () in
+    Checker.attach c tr;
+    (Some tr, Some c)
+  end
+
+let finish_checker ?quiescent ?expect tr chk =
+  match (tr, chk) with
+  | Some tr, Some c ->
+      Checker.finish ?quiescent ?expect c;
+      Checker.detach tr;
+      Printf.printf "  checker: %d events seen, all invariants hold\n"
+        (Checker.events_seen c)
+  | _ -> ()
+
+let report_inject inject =
+  match inject with
+  | Some inj -> Fmt.pr "  injected: %a@." Inject.pp_stats (Inject.stats inj)
+  | None -> ()
 
 (* --- call: measure one dIPC configuration --- *)
 
@@ -78,12 +125,21 @@ let primitive_conv =
   in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (M.primitive_name p))
 
-let run_ipc primitive same_cpu bytes =
-  let r = M.run ~bytes ~same_cpu primitive in
+let run_ipc primitive same_cpu bytes inject_seed check =
+  let inject = mk_inject inject_seed in
+  let tr, chk = mk_checker check in
+  let r = M.run ~bytes ?trace:tr ?inject ~same_cpu primitive in
+  (* The L4 server's final reply_and_wait parks it forever by design:
+     skip the quiescence assertion for that primitive only. *)
+  finish_checker ~quiescent:(primitive <> M.L4) ~expect:r.M.lifetime tr chk;
   Printf.printf "%s (%s), %d-byte argument:\n" (M.primitive_name primitive)
     (if same_cpu then "=CPU" else "!=CPU")
     bytes;
   Printf.printf "  %.1f ns per synchronous round trip\n" r.M.mean_ns;
+  report_inject inject;
+  (match tr with
+  | Some tr -> Printf.printf "  replay digest %s\n" (Trace.digest_hex tr)
+  | None -> ());
   Array.iteri
     (fun i bd ->
       if Dipc_sim.Breakdown.total bd > 1. then
@@ -103,11 +159,11 @@ let ipc_cmd =
   let bytes = Arg.(value & opt int 1 & info [ "bytes" ] ~doc:"argument size") in
   Cmd.v
     (Cmd.info "ipc" ~doc:"measure a baseline IPC primitive on the kernel model")
-    Term.(const run_ipc $ primitive $ same_cpu $ bytes)
+    Term.(const run_ipc $ primitive $ same_cpu $ bytes $ inject_arg $ check_arg)
 
 (* --- oltp: one macro-benchmark cell --- *)
 
-let run_oltp config threads on_disk =
+let run_oltp config threads on_disk inject_seed check =
   let config =
     match config with
     | "linux" -> O.Linux
@@ -116,10 +172,19 @@ let run_oltp config threads on_disk =
     | s -> failwith ("unknown config " ^ s)
   in
   let db_mode = if on_disk then O.On_disk else O.In_memory in
-  let r = O.run ~config ~db_mode ~threads () in
+  let inject = mk_inject inject_seed in
+  let tr, chk = mk_checker check in
+  let r = O.run ?trace:tr ?inject ~config ~db_mode ~threads () in
+  (* OLTP stops at a deadline with workers still parked: structural
+     invariants only, no quiescence. *)
+  finish_checker ~quiescent:false tr chk;
   Printf.printf "%s, %d threads/component, %s DB:\n" (O.config_name config)
     threads
     (if on_disk then "on-disk" else "in-memory");
+  report_inject inject;
+  (match tr with
+  | Some tr -> Printf.printf "  replay digest %s\n" (Trace.digest_hex tr)
+  | None -> ());
   Printf.printf "  throughput %.0f ops/min, latency %.2f ms\n" r.O.r_throughput_opm
     (r.O.r_latency_ns.Stats.s_mean /. 1e6);
   Printf.printf "  user %.1f%%  kernel %.1f%%  idle %.1f%%\n"
@@ -134,7 +199,7 @@ let oltp_cmd =
   let on_disk = Arg.(value & flag & info [ "on-disk" ] ~doc:"on-disk database") in
   Cmd.v
     (Cmd.info "oltp" ~doc:"run one cell of the Figure 8 macro-benchmark")
-    Term.(const run_oltp $ config $ threads $ on_disk)
+    Term.(const run_oltp $ config $ threads $ on_disk $ inject_arg $ check_arg)
 
 (* --- trace: export a Chrome trace of a microbench run --- *)
 

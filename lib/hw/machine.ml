@@ -52,6 +52,9 @@ type t = {
   mutable tlb_page : int; (* one-entry translation cache *)
   mutable tlb_gen : int;
   mutable tlb_entry : Page_table.page;
+  mutable inject : Dipc_sim.Inject.t option;
+      (* Fault injector consulted at domain crossings; [None] keeps the
+         crossing path exactly as-is. *)
 }
 
 exception Out_of_fuel
@@ -81,6 +84,7 @@ let create () =
     tlb_page = -1;
     tlb_gen = -1;
     tlb_entry = tlb_dummy;
+    inject = None;
   }
 
 (* Page-table lookup through the one-entry translation cache: straight-line
@@ -102,6 +106,8 @@ let find_page m ~pc addr =
 let set_syscall_handler m f = m.on_syscall <- Some f
 
 let set_trace m tracer = m.tracer <- tracer
+
+let set_inject m inj = m.inject <- inj
 
 let set_attribution m f = m.attr_of_tag <- f
 
@@ -253,6 +259,24 @@ let check_transfer m ctx target =
     if Trace.enabled m.tracer then
       Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:new_tag ~arg:ctx.cur_tag
         Trace.Domain_cross;
+    (match m.inject with
+    | Some inj ->
+        (* Injected cold APL cache: the crossing must still succeed, just
+           through the (slow) refill path.  Skipped in strict mode, where
+           a miss is a fault by configuration, not a perturbation. *)
+        if (not m.strict_apl_cache) && Dipc_sim.Inject.apl_flush inj then
+          Apl_cache.reset ctx.apl_cache;
+        (* Injected capability-register spill/refill around the crossing:
+           the register file must survive a clobber-and-restore cycle,
+           charged as kernel time. *)
+        (match Dipc_sim.Inject.creg_clobber inj with
+        | Some cost ->
+            let saved = Array.copy ctx.cregs in
+            Array.fill ctx.cregs 0 (Array.length ctx.cregs) None;
+            Array.blit saved 0 ctx.cregs 0 (Array.length saved);
+            charge_as m ctx Breakdown.Kernel cost
+        | None -> ())
+    | None -> ());
     (* The instruction pointer now originates from the new domain; its APL
        becomes the active one, via the per-thread APL cache. *)
     let _hw, hit = Apl_cache.ensure ctx.apl_cache new_tag in
@@ -492,9 +516,15 @@ let step_unlogged m ctx =
         ctx.pc <- next
     | Isa.CapPush c ->
         Dcs.push ctx.dcs ~pc (valid_creg m ctx ~pc c);
+        if Trace.enabled m.tracer then
+          Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag
+            ~arg:(Dcs.depth ctx.dcs) Trace.Dcs_push;
         ctx.pc <- next
     | Isa.CapPop c ->
         ctx.cregs.(c) <- Some (Dcs.pop ctx.dcs ~pc);
+        if Trace.enabled m.tracer then
+          Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag
+            ~arg:(Dcs.depth ctx.dcs) Trace.Dcs_pop;
         ctx.pc <- next
     | Isa.CapLoad (c, rb, o) -> begin
         let addr = reg ctx rb + o in
@@ -524,6 +554,9 @@ let step_unlogged m ctx =
     | Isa.DcsSwitch r ->
         require_priv ctx;
         ctx.dcs_saved <- Dcs.switch ctx.dcs ~pc ~args:(reg ctx r) :: ctx.dcs_saved;
+        if Trace.enabled m.tracer then
+          Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag
+            ~arg:(Dcs.depth ctx.dcs) Trace.Dcs_adjust;
         ctx.pc <- next
     | Isa.DcsRestore r -> begin
         require_priv ctx;
@@ -531,6 +564,9 @@ let step_unlogged m ctx =
         | saved :: rest ->
             Dcs.restore ctx.dcs ~pc ~rets:(reg ctx r) saved;
             ctx.dcs_saved <- rest;
+            if Trace.enabled m.tracer then
+              Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag
+                ~arg:(Dcs.depth ctx.dcs) Trace.Dcs_adjust;
             ctx.pc <- next
         | [] -> Fault.raise_fault ~pc (Fault.Dcs_bounds "no saved DCS to restore")
       end);

@@ -47,6 +47,8 @@ type t = {
       (** one-entry translation cache: last page number looked up *)
   mutable tlb_gen : int;  (** {!Page_table.generation} it was filled at *)
   mutable tlb_entry : Page_table.page;
+  mutable inject : Dipc_sim.Inject.t option;
+      (** fault injector consulted at domain crossings; [None] = clean *)
 }
 
 exception Out_of_fuel
@@ -59,6 +61,12 @@ val set_syscall_handler : t -> (ctx -> int -> unit) -> unit
     and faults are emitted into it (timestamped by the executing context's
     accumulated cost).  Defaults to {!Dipc_sim.Trace.null}. *)
 val set_trace : t -> Dipc_sim.Trace.t -> unit
+
+(** Install (or clear) a seeded fault injector: domain crossings may then
+    suffer APL-cache flushes (forcing the refill path) and
+    capability-register clobber-and-restore cycles.  The crossing must
+    still produce the same architectural results, just slower. *)
+val set_inject : t -> Dipc_sim.Inject.t option -> unit
 
 (** Choose the Breakdown category instruction costs are attributed to,
     per executing domain tag. *)

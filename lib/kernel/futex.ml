@@ -33,11 +33,27 @@ let word t = t.value
 let kernel_path_cost t =
   Costs.futex_kernel_queue *. Dipc_sim.Rng.uniform t.jitter ~lo:0.7 ~hi:1.3
 
-(* FUTEX_WAIT: sleep if the word still holds [expected]. *)
+(* FUTEX_WAIT: sleep if the word still holds [expected].  May return
+   spuriously under fault injection (as the real FUTEX_WAIT may, per
+   futex(2)); callers re-check the word in a loop, so a spurious return
+   costs an extra round-trip through the slow path but never breaks the
+   protocol. *)
 let wait t th ~expected =
   Kernel.syscall_overhead t.kern th;
   Kernel.consume t.kern th Breakdown.Kernel (kernel_path_cost t);
-  if !(t.value) = expected then Kernel.block_on t.kern th t.sleepers
+  if !(t.value) = expected then begin
+    (match Kernel.inject t.kern with
+    | Some inj -> (
+        match Dipc_sim.Inject.spurious_wakeup inj with
+        | Some d ->
+            let eng = Kernel.engine t.kern in
+            Dipc_sim.Engine.schedule eng
+              ~at:(Dipc_sim.Engine.now eng +. d)
+              (fun () -> ignore (Kernel.wake_detached t.kern t.sleepers ()))
+        | None -> ())
+    | None -> ());
+    Kernel.block_on t.kern th t.sleepers
+  end
 
 (* FUTEX_WAKE: wake up to [n] sleepers; returns how many were woken. *)
 let wake t th ~n =

@@ -15,6 +15,7 @@ module Engine = Dipc_sim.Engine
 module Breakdown = Dipc_sim.Breakdown
 module Costs = Dipc_sim.Costs
 module Trace = Dipc_sim.Trace
+module Inject = Dipc_sim.Inject
 
 type process = {
   pid : int;
@@ -69,6 +70,14 @@ type t = {
       (* Where an unpinned thread wakes up: its last CPU (cache affinity,
          like CFS without active balancing — the source of the scheduler
          imbalance Sec. 7.4 describes) or the least-loaded CPU. *)
+  mutable inject : Inject.t option;
+      (* Fault injector consulted at IPI delivery and quantum boundaries;
+         [None] keeps those paths exactly as-is (no RNG draws). *)
+  lifetime_bd : Breakdown.t;
+      (* Every charge since creation, never reset: the conservation
+         reference the invariant checker compares Charge events against
+         ([reset_stats] clears the per-CPU breakdowns mid-run, so those
+         cannot anchor a whole-trace identity). *)
 }
 
 let create engine ~ncpus =
@@ -95,7 +104,15 @@ let create engine ~ncpus =
     quantum = 100_000.;
     next_jitter_seed = 1;
     wake_policy = `Affinity;
+    inject = None;
+    lifetime_bd = Breakdown.create ();
   }
+
+let set_inject t inj = t.inject <- inj
+
+let inject t = t.inject
+
+let lifetime_breakdown t = t.lifetime_bd
 
 let fresh_jitter_seed t =
   let s = t.next_jitter_seed in
@@ -143,6 +160,7 @@ let alloc_fd proc label =
 let charge t th category ns =
   Breakdown.charge th.bd category ns;
   Breakdown.charge t.cpus.(th.cpu).cpu_bd category ns;
+  Breakdown.charge t.lifetime_bd category ns;
   let tr = Engine.tracer t.engine in
   if Trace.enabled tr then
     Trace.emit_charge tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~cat:category ~dur:ns
@@ -156,6 +174,7 @@ let end_idle t cpu =
       let d = now t -. since in
       cpu.idle_total <- cpu.idle_total +. d;
       Breakdown.charge cpu.cpu_bd Breakdown.Idle d;
+      Breakdown.charge t.lifetime_bd Breakdown.Idle d;
       let tr = Engine.tracer t.engine in
       if Trace.enabled tr then
         Trace.emit_charge tr ~ts:(now t) ~cpu:cpu.cpu_id ~tid:(-1) ~cat:Breakdown.Idle
@@ -251,7 +270,18 @@ let consume t th category ns =
     cpu.busy_total <- cpu.busy_total +. chunk;
     Engine.delay chunk;
     remaining := !remaining -. chunk;
-    if !remaining > 0. && not (Queue.is_empty t.cpus.(th.cpu).runq) then begin
+    let preempt =
+      if not (Queue.is_empty t.cpus.(th.cpu).runq) then
+        !remaining > 0.
+        ||
+        (* Injected: force a switch at the final quantum boundary too,
+           exercising resumption from an unexpected scheduling point. *)
+        (match t.inject with
+        | Some inj -> Inject.force_preempt inj
+        | None -> false)
+      else false
+    in
+    if preempt then begin
       (* Preempted: round-robin to the back of the queue. *)
       charge t th Breakdown.Schedule Costs.context_switch;
       release t th;
@@ -324,6 +354,7 @@ let wake_one t ~waker:waker_th (q : 'a Sleepq.q) (v : 'a) =
   | None -> false
   | Some { Sleepq.sleeper; waker } ->
       if not sleeper.pinned then sleeper.cpu <- choose_cpu t sleeper;
+      let ipi_delay = ref 0. in
       if sleeper.cpu <> waker_th.cpu then begin
         (* arg: the woken thread's tid (the IPI's logical target). *)
         let tr = Engine.tracer t.engine in
@@ -332,10 +363,22 @@ let wake_one t ~waker:waker_th (q : 'a Sleepq.q) (v : 'a) =
             ~arg:sleeper.tid Trace.Ipi;
         charge t waker_th Breakdown.Kernel Costs.ipi_send;
         Engine.delay Costs.ipi_send;
-        sleeper.wake_ipi <- true
+        sleeper.wake_ipi <- true;
+        (* Injected IPI perturbation: a delayed interrupt delivers late;
+           a lost one only lands when the sender's retry timer refires. *)
+        match t.inject with
+        | Some inj -> (
+            match Inject.ipi_outcome inj with
+            | Inject.Ipi_ok -> ()
+            | Inject.Ipi_delayed d | Inject.Ipi_lost d -> ipi_delay := d)
+        | None -> ()
       end;
       sleeper.state <- `Ready;
-      Engine.resume waker v;
+      if !ipi_delay > 0. then
+        Engine.schedule t.engine
+          ~at:(now t +. !ipi_delay)
+          (fun () -> Engine.resume waker v)
+      else Engine.resume waker v;
       true
 
 let wake_all t ~waker q v =
@@ -344,6 +387,18 @@ let wake_all t ~waker q v =
     incr n
   done;
   !n
+
+(* Wake one sleeper with no running thread behind it (spurious wakeups,
+   timer redelivery): no waker CPU exists, so no IPI is modelled — the
+   sleeper just becomes ready and re-contends for a CPU. *)
+let wake_detached t (q : 'a Sleepq.q) (v : 'a) =
+  match Queue.take_opt q.Sleepq.entries with
+  | None -> false
+  | Some { Sleepq.sleeper; waker } ->
+      if not sleeper.pinned then sleeper.cpu <- choose_cpu t sleeper;
+      sleeper.state <- `Ready;
+      Engine.resume waker v;
+      true
 
 (* Release the CPU and suspend on an externally-resumed waker (device
    queues); reacquires a CPU once resumed. *)

@@ -19,6 +19,19 @@ val create : Engine.t -> ncpus:int -> t
 
 val engine : t -> Engine.t
 
+(** Install (or clear) a fault injector: IPI deliveries, futex waits and
+    quantum boundaries consult it for seeded perturbations.  With no
+    injector (the default) those paths draw nothing and the event
+    timeline is byte-identical to an uninjected run. *)
+val set_inject : t -> Dipc_sim.Inject.t option -> unit
+
+val inject : t -> Dipc_sim.Inject.t option
+
+(** Every nanosecond charged since creation, across all CPUs and
+    categories, never reset (unlike {!reset_stats}'s per-CPU views):
+    the conservation reference for the trace invariant checker. *)
+val lifetime_breakdown : t -> Breakdown.t
+
 val ncpus : t -> int
 
 (** Next value of the per-kernel timing-jitter seed stream (futex path
@@ -68,6 +81,12 @@ val block_on : t -> thread -> 'a Sleepq.q -> 'a
 val wake_one : t -> waker:thread -> 'a Sleepq.q -> 'a -> bool
 
 val wake_all : t -> waker:thread -> 'a Sleepq.q -> 'a -> int
+
+(** Wake one sleeper with no running thread behind it (spurious wakeup /
+    timer redelivery paths): no IPI is modelled.  Safe only for queues
+    whose sleepers re-check their predicate after waking, like the futex
+    wait loop. *)
+val wake_detached : t -> 'a Sleepq.q -> 'a -> bool
 
 (** Release the CPU and suspend on an externally-resumed waker (device
     queues). *)

@@ -1,0 +1,139 @@
+(* Seeded, deterministic fault injection.
+
+   A schedule is nothing more than a splitmix64 stream consumed one
+   decision at a time, in the order the instrumented layers reach their
+   injection points.  Because the simulation itself is deterministic,
+   the sequence of decision points is a pure function of (workload,
+   seed): the same seed reproduces the same fault schedule and therefore
+   the same replay digest, which is what makes an injected failure
+   replayable.
+
+   The module only *decides*; the kernel and machine layers own the
+   mechanics (re-scheduling a delayed IPI thunk, resetting the APL
+   cache, ...).  With no injector installed every hook is a no-op and
+   the event stream is byte-identical to an uninjected run. *)
+
+type config = {
+  ipi_delay_p : float;  (* P(IPI delivery is delayed) *)
+  ipi_delay_ns : float;  (* mean extra delivery latency *)
+  ipi_lose_p : float;  (* P(IPI is lost and redelivered by retry) *)
+  ipi_retry_ns : float;  (* retry-timeout before redelivery *)
+  spurious_wake_p : float;  (* P(a futex wait gets a spurious wake) *)
+  spurious_delay_ns : float;  (* mean delay before the spurious wake *)
+  preempt_p : float;  (* P(forced preemption at a consume boundary) *)
+  apl_flush_p : float;  (* P(APL cache flushed at a domain crossing) *)
+  creg_clobber_p : float;  (* P(cap regs clobbered+restored at crossing) *)
+  creg_clobber_ns : float;  (* cost charged for the restore *)
+}
+
+let default_config =
+  {
+    ipi_delay_p = 0.08;
+    ipi_delay_ns = 4_000.;
+    ipi_lose_p = 0.02;
+    ipi_retry_ns = 50_000.;
+    spurious_wake_p = 0.08;
+    spurious_delay_ns = 2_000.;
+    preempt_p = 0.05;
+    apl_flush_p = 0.10;
+    creg_clobber_p = 0.10;
+    creg_clobber_ns = 150.;
+  }
+
+let aggressive_config =
+  {
+    ipi_delay_p = 0.30;
+    ipi_delay_ns = 20_000.;
+    ipi_lose_p = 0.10;
+    ipi_retry_ns = 100_000.;
+    spurious_wake_p = 0.30;
+    spurious_delay_ns = 10_000.;
+    preempt_p = 0.20;
+    apl_flush_p = 0.40;
+    creg_clobber_p = 0.40;
+    creg_clobber_ns = 300.;
+  }
+
+type stats = {
+  mutable ipis_delayed : int;
+  mutable ipis_lost : int;
+  mutable spurious_wakes : int;
+  mutable forced_preempts : int;
+  mutable apl_flushes : int;
+  mutable creg_clobbers : int;
+}
+
+type t = { rng : Rng.t; config : config; stats : stats }
+
+let create ?(config = default_config) ~seed () =
+  {
+    rng = Rng.create ~seed;
+    config;
+    stats =
+      {
+        ipis_delayed = 0;
+        ipis_lost = 0;
+        spurious_wakes = 0;
+        forced_preempts = 0;
+        apl_flushes = 0;
+        creg_clobbers = 0;
+      };
+  }
+
+let config t = t.config
+
+let stats t = t.stats
+
+let total_faults t =
+  let s = t.stats in
+  s.ipis_delayed + s.ipis_lost + s.spurious_wakes + s.forced_preempts
+  + s.apl_flushes + s.creg_clobbers
+
+type ipi_outcome = Ipi_ok | Ipi_delayed of float | Ipi_lost of float
+
+(* Decision points.  Each consumes a fixed prefix of the stream per
+   branch taken, so the schedule is reproducible event for event. *)
+
+let ipi_outcome t =
+  let u = Rng.float t.rng in
+  if u < t.config.ipi_lose_p then begin
+    t.stats.ipis_lost <- t.stats.ipis_lost + 1;
+    (* lost: the sleeper only comes back when the retry timer fires *)
+    Ipi_lost (t.config.ipi_retry_ns *. (1.0 +. Rng.float t.rng))
+  end
+  else if u < t.config.ipi_lose_p +. t.config.ipi_delay_p then begin
+    t.stats.ipis_delayed <- t.stats.ipis_delayed + 1;
+    Ipi_delayed (t.config.ipi_delay_ns *. (0.5 +. Rng.float t.rng))
+  end
+  else Ipi_ok
+
+let spurious_wakeup t =
+  if Rng.float t.rng < t.config.spurious_wake_p then begin
+    t.stats.spurious_wakes <- t.stats.spurious_wakes + 1;
+    Some (t.config.spurious_delay_ns *. (0.5 +. Rng.float t.rng))
+  end
+  else None
+
+let force_preempt t =
+  let hit = Rng.float t.rng < t.config.preempt_p in
+  if hit then t.stats.forced_preempts <- t.stats.forced_preempts + 1;
+  hit
+
+let apl_flush t =
+  let hit = Rng.float t.rng < t.config.apl_flush_p in
+  if hit then t.stats.apl_flushes <- t.stats.apl_flushes + 1;
+  hit
+
+let creg_clobber t =
+  if Rng.float t.rng < t.config.creg_clobber_p then begin
+    t.stats.creg_clobbers <- t.stats.creg_clobbers + 1;
+    Some t.config.creg_clobber_ns
+  end
+  else None
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "ipis: %d delayed, %d lost; %d spurious wakes; %d forced preempts; %d \
+     apl flushes; %d creg clobbers"
+    s.ipis_delayed s.ipis_lost s.spurious_wakes s.forced_preempts
+    s.apl_flushes s.creg_clobbers

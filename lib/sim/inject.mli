@@ -1,0 +1,79 @@
+(** Seeded, deterministic fault injection.
+
+    An injector is a stream of fault decisions drawn from a {!Rng}
+    seed, consumed in the order the instrumented layers (kernel IPI
+    delivery, futex waits, scheduler quanta, CODOMs domain crossings)
+    reach their injection points.  The simulation is deterministic, so
+    one seed reproduces the same fault schedule — and hence the same
+    replay digest — run after run.
+
+    This module only decides what to inject; the kernel and machine
+    layers implement the mechanics.  With no injector installed every
+    hook is a no-op and the run is byte-identical to a clean one. *)
+
+(** Per-fault-class probabilities and magnitudes.  Probabilities are
+    per decision point, magnitudes in nanoseconds. *)
+type config = {
+  ipi_delay_p : float;
+  ipi_delay_ns : float;
+  ipi_lose_p : float;
+  ipi_retry_ns : float;
+  spurious_wake_p : float;
+  spurious_delay_ns : float;
+  preempt_p : float;
+  apl_flush_p : float;
+  creg_clobber_p : float;
+  creg_clobber_ns : float;
+}
+
+(** Mild schedule: every class enabled at low rates. *)
+val default_config : config
+
+(** Hostile schedule: high fault rates and long delays, for stress
+    matrices. *)
+val aggressive_config : config
+
+type stats = {
+  mutable ipis_delayed : int;
+  mutable ipis_lost : int;
+  mutable spurious_wakes : int;
+  mutable forced_preempts : int;
+  mutable apl_flushes : int;
+  mutable creg_clobbers : int;
+}
+
+type t
+
+val create : ?config:config -> seed:int -> unit -> t
+
+val config : t -> config
+
+(** Counters of faults actually injected so far. *)
+val stats : t -> stats
+
+val total_faults : t -> int
+
+type ipi_outcome =
+  | Ipi_ok  (** deliver normally *)
+  | Ipi_delayed of float  (** deliver after this many extra ns *)
+  | Ipi_lost of float  (** drop; redeliver when the retry timer fires *)
+
+(** Decision for one cross-CPU IPI delivery. *)
+val ipi_outcome : t -> ipi_outcome
+
+(** Decision for one futex wait: [Some d] injects a spurious wakeup
+    [d] ns after the wait parks. *)
+val spurious_wakeup : t -> float option
+
+(** Decision at a scheduler consume boundary: force a context switch
+    even though the quantum has work left. *)
+val force_preempt : t -> bool
+
+(** Decision at a domain crossing: flush the APL cache first. *)
+val apl_flush : t -> bool
+
+(** Decision at a domain crossing: clobber and restore the capability
+    registers, charging [Some cost] ns. *)
+val creg_clobber : t -> float option
+
+val pp_stats : Format.formatter -> stats -> unit

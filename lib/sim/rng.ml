@@ -19,6 +19,13 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* Splitmix64's intended forking discipline: seed the child from the
+   parent's next output.  The output function is a bijective mix of the
+   Weyl-sequence counter, so child and parent walk statistically
+   independent sequences while a given parent seed still reproduces the
+   same family of streams run after run. *)
+let split t = { state = next_int64 t }
+
 (* Uniform float in [0, 1). Uses the top 53 bits. *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -11,6 +11,12 @@ val create : seed:int -> t
 (** Independent copy continuing from the same state. *)
 val copy : t -> t
 
+(** Fork an independent child generator, advancing the parent by one
+    draw (splitmix64's designed split).  The child's stream is
+    deterministic in the parent's seed and split position but shares no
+    draws with the parent's continuation. *)
+val split : t -> t
+
 val next_int64 : t -> int64
 
 (** Uniform float in [0, 1). *)

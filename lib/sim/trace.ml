@@ -21,9 +21,16 @@ type kind =
   | Domain_cross
   | Fault
   | Charge
+  | Dcs_push
+  | Dcs_pop
+  | Dcs_adjust
 
+(* New kinds must be appended, never inserted: [kind_index] feeds the
+   replay digest, so renumbering an existing kind shifts every pinned
+   golden digest. *)
 let all_kinds =
-  [ Sched; Spawn; Resume; Suspend; Ctxsw; Ipi; Syscall; Domain_cross; Fault; Charge ]
+  [ Sched; Spawn; Resume; Suspend; Ctxsw; Ipi; Syscall; Domain_cross; Fault; Charge
+  ; Dcs_push; Dcs_pop; Dcs_adjust ]
 
 let kind_index = function
   | Sched -> 0
@@ -36,6 +43,9 @@ let kind_index = function
   | Domain_cross -> 7
   | Fault -> 8
   | Charge -> 9
+  | Dcs_push -> 10
+  | Dcs_pop -> 11
+  | Dcs_adjust -> 12
 
 let kind_name = function
   | Sched -> "sched"
@@ -48,6 +58,9 @@ let kind_name = function
   | Domain_cross -> "domain-cross"
   | Fault -> "fault"
   | Charge -> "charge"
+  | Dcs_push -> "dcs-push"
+  | Dcs_pop -> "dcs-pop"
+  | Dcs_adjust -> "dcs-adjust"
 
 let kind_of_index i = List.nth all_kinds i
 
@@ -83,6 +96,10 @@ type t = {
      on every event.  [digest] reassembles the halves. *)
   mutable hash_lo : int; (* bits 0..31 *)
   mutable hash_hi : int; (* bits 32..63 *)
+  (* Optional online observer (the invariant checker).  Called after the
+     event is digested and stored; it cannot influence the digest or the
+     ring, only observe the stream. *)
+  mutable sink : (event -> unit) option;
 }
 
 (* --- the digest ---
@@ -222,6 +239,7 @@ let make ~on ~capacity =
     count = 0;
     hash_lo = Int64.to_int (Int64.logand fnv_offset 0xFFFFFFFFL);
     hash_hi = Int64.to_int (Int64.shift_right_logical fnv_offset 32);
+    sink = None;
   }
 
 let null = make ~on:false ~capacity:1
@@ -229,6 +247,29 @@ let null = make ~on:false ~capacity:1
 let create ?(capacity = 65536) () = make ~on:true ~capacity
 
 let enabled t = t.on
+
+let set_sink t sink = t.sink <- sink
+
+(* Out-of-line sink dispatch shared by the emit entry points: the event
+   record is only materialised when an observer is installed, so the
+   sink-free hot path pays one load and branch. *)
+let feed_sink t ~ts ~ki ~cpu ~tid ~tag ~ci ~dur ~arg =
+  match t.sink with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          e_ts = ts;
+          e_kind = kind_of_index ki;
+          e_cpu = cpu;
+          e_tid = tid;
+          e_tag = tag;
+          e_cat =
+            (if ci < 0 then None
+             else Some (List.nth Breakdown.all_categories ci));
+          e_dur = dur;
+          e_arg = arg;
+        }
 
 let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) kind =
   if t.on then begin
@@ -254,7 +295,7 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
           (Int64.to_int (Int64.shift_right_logical bits 32))
       else mix_float_slow h bits
     in
-    (* ki is always 0..9: unconditional fast path. *)
+    (* ki is always a small kind index: unconditional fast path. *)
     let h =
       let l0 = Int64.to_int h land 0xff in
       Int64.mul (Int64.add h (Int64.of_int ((l0 lxor ki) - l0))) fnv_prime_8
@@ -320,7 +361,8 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
     t.args.(i) <- arg;
     t.head <- (i + 1) mod t.cap;
     if t.len < t.cap then t.len <- t.len + 1;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    feed_sink t ~ts ~ki ~cpu ~tid ~tag ~ci ~dur ~arg
   end
 
 (* Lean hot-path variants of [emit].  Digest- and ring-identical to the
@@ -352,7 +394,7 @@ let emit_bare t ~ts kind =
           (Int64.to_int (Int64.shift_right_logical bits 32))
       else mix_float_slow h bits
     in
-    (* ki is always 0..9 *)
+    (* ki is always a small kind index *)
     let h =
       let l0 = Int64.to_int h land 0xff in
       Int64.mul (Int64.add h (Int64.of_int ((l0 lxor ki) - l0))) fnv_prime_8
@@ -378,7 +420,8 @@ let emit_bare t ~ts kind =
     t.args.(i) <- 0;
     t.head <- (i + 1) mod t.cap;
     if t.len < t.cap then t.len <- t.len + 1;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    feed_sink t ~ts ~ki ~cpu:(-1) ~tid:(-1) ~tag:(-1) ~ci:(-1) ~dur:0. ~arg:0
   end
 
 (* [emit t ~ts ~cpu ~tid ~cat ~dur Charge] (tag and arg defaulted): the
@@ -452,7 +495,8 @@ let emit_charge t ~ts ~cpu ~tid ~cat ~dur =
     t.args.(i) <- 0;
     t.head <- (i + 1) mod t.cap;
     if t.len < t.cap then t.len <- t.len + 1;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    feed_sink t ~ts ~ki:9 ~cpu ~tid ~tag:(-1) ~ci ~dur ~arg:0
   end
 
 let total t = t.count

@@ -24,6 +24,11 @@ type kind =
   | Domain_cross  (** CODOMs domain switch ([tag] = new, [arg] = old) *)
   | Fault  (** a protection fault was raised ([arg] = faulting pc) *)
   | Charge  (** [dur] nanoseconds charged to category [cat] *)
+  | Dcs_push  (** a frame was pushed on a DCS ([arg] = resulting depth) *)
+  | Dcs_pop  (** a DCS frame was popped ([arg] = resulting depth) *)
+  | Dcs_adjust
+      (** a DCS switch/restore re-based the stack ([arg] = resulting
+          depth) — depth may jump by more than one *)
 
 val kind_name : kind -> string
 
@@ -49,6 +54,13 @@ val null : t
 val create : ?capacity:int -> unit -> t
 
 val enabled : t -> bool
+
+(** Install (or clear) an online observer called with every emitted
+    event, after it has been digested and stored.  The sink is strictly
+    read-only with respect to the trace: it cannot perturb the digest,
+    the ring contents, or simulated time.  Used by {!Checker} to verify
+    protocol invariants while a run executes. *)
+val set_sink : t -> (event -> unit) option -> unit
 
 (** Record one event.  No-op on a disabled sink. *)
 val emit :

@@ -13,8 +13,29 @@ let length t = Queue.length t.waiters
 let is_empty t = Queue.is_empty t.waiters
 
 (* Park the calling thread until woken; returns the value passed by the
-   waker. *)
-let wait t = Engine.suspend (fun waker -> Queue.add waker t.waiters)
+   waker.  [on_park] receives the waker after it is enqueued, so callers
+   implementing timeouts/cancellation can stash it for a later [remove]. *)
+let wait ?on_park t =
+  Engine.suspend (fun waker ->
+      Queue.add waker t.waiters;
+      match on_park with None -> () | Some f -> f waker)
+
+(* Withdraw a parked waker without firing it (cancellation path): the
+   thread stays suspended and must be resumed directly by the caller.
+   Queue has no random removal, so rebuild it minus the first physical
+   match; wait queues are short (bounded by runnable threads). *)
+let remove t waker =
+  let found = ref false in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun w ->
+      if (not !found) && w == waker then found := true else Queue.add w keep)
+    t.waiters;
+  if !found then begin
+    Queue.clear t.waiters;
+    Queue.transfer keep t.waiters
+  end;
+  !found
 
 let wake_one t v =
   match Queue.take_opt t.waiters with

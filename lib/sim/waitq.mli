@@ -9,8 +9,17 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** Park the calling thread until woken; returns the waker's value. *)
-val wait : 'a t -> 'a
+(** Park the calling thread until woken; returns the waker's value.
+    [on_park] is called with the thread's waker right after it joins the
+    queue — stash it to support a later {!remove}. *)
+val wait : ?on_park:('a Engine.waker -> unit) -> 'a t -> 'a
+
+(** Withdraw a parked waker without waking it (timeout/cancellation
+    paths); the thread stays suspended and must be resumed directly via
+    {!Engine.resume}.  Returns [false] if the waker was no longer
+    queued (already woken or never parked here).  FIFO order of the
+    remaining waiters is preserved. *)
+val remove : 'a t -> 'a Engine.waker -> bool
 
 (** Wake the longest-waiting thread; false if the queue was empty. *)
 val wake_one : 'a t -> 'a -> bool

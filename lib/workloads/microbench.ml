@@ -21,6 +21,7 @@ type result = {
   mean_ns : float; (* per round trip *)
   per_cpu : Breakdown.t array; (* per round trip, indexed by CPU *)
   total_breakdown : Breakdown.t;
+  lifetime : Breakdown.t; (* whole-run totals incl. warmup, never reset *)
 }
 
 type primitive = Sem | Pipe | L4 | Local_rpc | Tcp_rpc_prim | User_rpc_prim
@@ -45,10 +46,12 @@ let consume_payload kern th bytes =
 (* Run [iters] warm round trips of [primitive] and return per-round-trip
    means.  [same_cpu] pins client and server to CPU 0, otherwise they sit
    on CPUs 0 and 1. *)
-let run ?(bytes = 1) ?(warmup = 20) ?(iters = 200) ?trace ~same_cpu primitive =
+let run ?(bytes = 1) ?(warmup = 20) ?(iters = 200) ?trace ?inject ~same_cpu
+    primitive =
   let engine = Engine.create () in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
   let kern = Kernel.create engine ~ncpus:2 in
+  (match inject with Some inj -> Kernel.set_inject kern (Some inj) | None -> ());
   let client_proc = Kernel.create_process kern ~name:"client" in
   let server_proc = Kernel.create_process kern ~name:"server" in
   let server_cpu = if same_cpu then 0 else 1 in
@@ -158,7 +161,12 @@ let run ?(bytes = 1) ?(warmup = 20) ?(iters = 200) ?trace ~same_cpu primitive =
   in
   let total_breakdown = Breakdown.create () in
   Array.iter (fun b -> Breakdown.merge ~into:total_breakdown b) per_cpu;
-  { mean_ns = !measured /. n; per_cpu; total_breakdown }
+  {
+    mean_ns = !measured /. n;
+    per_cpu;
+    total_breakdown;
+    lifetime = Breakdown.copy (Kernel.lifetime_breakdown kern);
+  }
 
 (* The empty-syscall and function-call baselines of Figures 2 and 5. *)
 let function_call_ns = Costs.function_call

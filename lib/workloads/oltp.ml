@@ -214,7 +214,8 @@ let dipc_crossing kern th =
 
 (* Every source of randomness derives from [seed]: the default of 41
    reproduces the calibrated legacy streams (disk 97, pools 733). *)
-let run ?(params_override = None) ?(seed = 41) ?trace ~config ~db_mode ~threads () =
+let run ?(params_override = None) ?(seed = 41) ?trace ?inject ~config ~db_mode
+    ~threads () =
   let p =
     match params_override with
     | Some p -> p
@@ -223,6 +224,7 @@ let run ?(params_override = None) ?(seed = 41) ?trace ~config ~db_mode ~threads 
   let engine = Engine.create () in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
   let kern = Kernel.create engine ~ncpus:p.ncpus in
+  (match inject with Some inj -> Kernel.set_inject kern (Some inj) | None -> ());
   let disk = disk_create kern ~seed:(seed + 56) ~mean:p.disk_mean in
   let rng = Rng.create ~seed in
   let latencies = Stats.create () in

@@ -49,11 +49,13 @@ type result = {
     calibrated defaults (shorter durations for tests).  [seed] drives
     every RNG stream in the run (default 41, the calibrated legacy
     streams): equal seeds replay the identical event timeline.  [trace]
-    installs a structured event trace sink on the run's engine. *)
+    installs a structured event trace sink on the run's engine.
+    [inject] installs a seeded fault injector on the run's kernel. *)
 val run :
   ?params_override:params option ->
   ?seed:int ->
   ?trace:Dipc_sim.Trace.t ->
+  ?inject:Dipc_sim.Inject.t ->
   config:config ->
   db_mode:db_mode ->
   threads:int ->

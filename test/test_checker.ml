@@ -1,0 +1,211 @@
+(* Mutation smoke tests for the online invariant checker: feed synthetic
+   trace streams with exactly one corruption each — a dropped resume, a
+   duplicated switch, an unbalanced DCS pop, ... — and assert the checker
+   reports exactly that violation class, with usable metadata.  A clean
+   stream must pass every check including charge conservation. *)
+
+module Trace = Dipc_sim.Trace
+module Checker = Dipc_sim.Checker
+module Breakdown = Dipc_sim.Breakdown
+
+(* Run [f trace checker] and require it to raise [Violation] with
+   invariant [inv]; returns the violation for metadata checks. *)
+let expect_violation inv f =
+  let tr = Trace.create () in
+  let chk = Checker.create () in
+  Checker.attach chk tr;
+  match f tr chk with
+  | () ->
+      Alcotest.failf "expected %S violation, stream was accepted" inv
+  | exception Checker.Violation v ->
+      Checker.detach tr;
+      Alcotest.(check string) "violation class" inv v.Checker.v_invariant;
+      v
+
+(* --- one mutation per violation class --- *)
+
+let test_dropped_resume () =
+  (* Mutation: the second suspend's wakeup never happens. *)
+  ignore
+    (expect_violation "lost-wakeup" (fun tr chk ->
+         Trace.emit tr ~ts:1. Trace.Suspend;
+         Trace.emit tr ~ts:2. Trace.Resume;
+         Trace.emit tr ~ts:3. Trace.Suspend;
+         Checker.finish chk))
+
+let test_duplicated_resume () =
+  (* Mutation: one wakeup delivered twice. *)
+  ignore
+    (expect_violation "double-resume" (fun tr _ ->
+         Trace.emit tr ~ts:1. Trace.Suspend;
+         Trace.emit tr ~ts:2. Trace.Resume;
+         Trace.emit tr ~ts:3. Trace.Resume))
+
+let test_duplicated_switch () =
+  (* Mutation: a context switch to the thread the CPU already runs. *)
+  ignore
+    (expect_violation "duplicate-switch" (fun tr _ ->
+         Trace.emit tr ~ts:1. ~cpu:0 ~tid:2 ~arg:2 Trace.Ctxsw))
+
+let test_replayed_switch () =
+  (* Mutation: a switch whose outgoing thread is not the one the CPU
+     last switched to (a duplicated/reordered Ctxsw). *)
+  ignore
+    (expect_violation "switch-mismatch" (fun tr _ ->
+         Trace.emit tr ~ts:1. ~cpu:0 ~tid:2 ~arg:1 Trace.Ctxsw;
+         Trace.emit tr ~ts:2. ~cpu:0 ~tid:3 ~arg:1 Trace.Ctxsw))
+
+let test_unbalanced_dcs_pop () =
+  (* Mutation: one push, two pops. *)
+  ignore
+    (expect_violation "dcs-underflow" (fun tr _ ->
+         Trace.emit tr ~ts:1. ~tid:5 ~arg:1 Trace.Dcs_push;
+         Trace.emit tr ~ts:2. ~tid:5 ~arg:0 Trace.Dcs_pop;
+         Trace.emit tr ~ts:3. ~tid:5 ~arg:(-1) Trace.Dcs_pop))
+
+let test_dcs_depth_skip () =
+  (* Mutation: a push claiming to land two frames deeper. *)
+  ignore
+    (expect_violation "dcs-imbalance" (fun tr _ ->
+         Trace.emit tr ~ts:1. ~tid:5 ~arg:1 Trace.Dcs_push;
+         Trace.emit tr ~ts:2. ~tid:5 ~arg:3 Trace.Dcs_push))
+
+let test_time_regression () =
+  (* Mutation: an engine event stamped before the watermark. *)
+  ignore
+    (expect_violation "time-regression" (fun tr _ ->
+         Trace.emit tr ~ts:10. ~cpu:0 ~tid:1 Trace.Syscall;
+         Trace.emit tr ~ts:5. ~cpu:0 ~tid:1 Trace.Syscall))
+
+let test_two_cpu_overlap () =
+  (* Mutation: a thread charging on CPU 1 while its charge interval on
+     CPU 0 is still open — i.e. resumed on two CPUs at once. *)
+  ignore
+    (expect_violation "two-cpu-overlap" (fun tr _ ->
+         Trace.emit tr ~ts:0. ~cpu:0 ~tid:7 ~cat:Breakdown.Kernel ~dur:100.
+           Trace.Charge;
+         Trace.emit tr ~ts:50. ~cpu:1 ~tid:7 ~cat:Breakdown.Kernel ~dur:10.
+           Trace.Charge))
+
+let test_charge_misattribution () =
+  (* Mutation: a thread charging on a CPU that switched to another. *)
+  ignore
+    (expect_violation "charge-misattribution" (fun tr _ ->
+         Trace.emit tr ~ts:1. ~cpu:0 ~tid:2 ~arg:1 Trace.Ctxsw;
+         Trace.emit tr ~ts:2. ~cpu:0 ~tid:3 ~cat:Breakdown.Kernel ~dur:5.
+           Trace.Charge))
+
+let test_crossing_imbalance () =
+  (* Mutation: a DCS frame pushed inside a domain leaks across the
+     return crossing (Sec. 5.2.3 integrity discipline). *)
+  ignore
+    (expect_violation "dcs-crossing-imbalance" (fun tr _ ->
+         (* ctx 1 crosses tag 10 -> 20, pushes a frame, returns. *)
+         Trace.emit tr ~ts:1. ~tid:1 ~tag:20 ~arg:10 Trace.Domain_cross;
+         Trace.emit tr ~ts:2. ~tid:1 ~arg:1 Trace.Dcs_push;
+         Trace.emit tr ~ts:3. ~tid:1 ~tag:10 ~arg:20 Trace.Domain_cross))
+
+let test_charge_conservation () =
+  (* Mutation: the reference breakdown disagrees with the charges. *)
+  ignore
+    (expect_violation "charge-conservation" (fun tr chk ->
+         Trace.emit tr ~ts:0. ~cpu:0 ~tid:1 ~cat:Breakdown.Kernel ~dur:100.
+           Trace.Charge;
+         Trace.emit tr ~ts:100. ~cpu:0 ~tid:1 Trace.Suspend;
+         Trace.emit tr ~ts:100. Trace.Resume;
+         let expect = Breakdown.create () in
+         Breakdown.charge expect Breakdown.Kernel 50.;
+         Checker.finish ~expect chk))
+
+(* --- the clean control: no mutation, no violation --- *)
+
+let test_clean_stream_passes () =
+  let tr = Trace.create () in
+  let chk = Checker.create () in
+  Checker.attach chk tr;
+  Trace.emit tr ~ts:0. ~cpu:0 ~tid:1 Trace.Spawn;
+  Trace.emit tr ~ts:0. ~cpu:0 ~tid:1 ~cat:Breakdown.Kernel ~dur:10.
+    Trace.Charge;
+  Trace.emit tr ~ts:10. Trace.Suspend;
+  Trace.emit tr ~ts:10. Trace.Resume;
+  (* tid 1 was bootstrapped as cpu 0's occupant: switching 1 -> 2 is
+     consistent. *)
+  Trace.emit tr ~ts:10. ~cpu:0 ~tid:2 ~arg:1 Trace.Ctxsw;
+  Trace.emit tr ~ts:10. ~cpu:0 ~tid:2 ~cat:Breakdown.Schedule ~dur:5.
+    Trace.Charge;
+  (* A balanced crossing with a balanced DCS episode. *)
+  Trace.emit tr ~ts:11. ~tid:2 ~tag:20 ~arg:10 Trace.Domain_cross;
+  Trace.emit tr ~ts:12. ~tid:2 ~arg:1 Trace.Dcs_push;
+  Trace.emit tr ~ts:13. ~tid:2 ~arg:0 Trace.Dcs_pop;
+  Trace.emit tr ~ts:14. ~tid:2 ~tag:10 ~arg:20 Trace.Domain_cross;
+  let expect = Breakdown.create () in
+  Breakdown.charge expect Breakdown.Kernel 10.;
+  Breakdown.charge expect Breakdown.Schedule 5.;
+  Checker.finish ~expect chk;
+  Checker.detach tr;
+  Alcotest.(check int) "all events delivered to the sink" 10
+    (Checker.events_seen chk);
+  Alcotest.(check int) "suspends" 1 (Checker.suspends chk);
+  Alcotest.(check int) "resumes" 1 (Checker.resumes chk)
+
+(* --- violation metadata: index and window point at the offender --- *)
+
+let test_violation_metadata () =
+  let v =
+    expect_violation "double-resume" (fun tr _ ->
+        Trace.emit tr ~ts:1. Trace.Suspend;
+        Trace.emit tr ~ts:2. Trace.Resume;
+        Trace.emit tr ~ts:3. Trace.Resume)
+  in
+  Alcotest.(check int) "0-based index of the offender" 2 v.Checker.v_index;
+  (match List.rev v.Checker.v_window with
+  | offender :: _ ->
+      Alcotest.(check bool) "offender is last in the window" true
+        (offender.Trace.e_kind = Trace.Resume && offender.Trace.e_ts = 3.)
+  | [] -> Alcotest.fail "empty violation window");
+  Alcotest.(check int) "window holds the whole short stream" 3
+    (List.length v.Checker.v_window);
+  (* The printed form carries the invariant name. *)
+  let s = Fmt.str "%a" Checker.pp_violation v in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions the invariant" true
+    (contains "double-resume")
+
+let suites =
+  [
+    ( "checker.mutations",
+      [
+        Alcotest.test_case "dropped resume -> lost-wakeup" `Quick
+          test_dropped_resume;
+        Alcotest.test_case "duplicated resume -> double-resume" `Quick
+          test_duplicated_resume;
+        Alcotest.test_case "duplicated switch -> duplicate-switch" `Quick
+          test_duplicated_switch;
+        Alcotest.test_case "replayed switch -> switch-mismatch" `Quick
+          test_replayed_switch;
+        Alcotest.test_case "unbalanced pop -> dcs-underflow" `Quick
+          test_unbalanced_dcs_pop;
+        Alcotest.test_case "depth skip -> dcs-imbalance" `Quick
+          test_dcs_depth_skip;
+        Alcotest.test_case "clock rollback -> time-regression" `Quick
+          test_time_regression;
+        Alcotest.test_case "dual-cpu charge -> two-cpu-overlap" `Quick
+          test_two_cpu_overlap;
+        Alcotest.test_case "foreign charge -> charge-misattribution" `Quick
+          test_charge_misattribution;
+        Alcotest.test_case "leaked frame -> dcs-crossing-imbalance" `Quick
+          test_crossing_imbalance;
+        Alcotest.test_case "wrong totals -> charge-conservation" `Quick
+          test_charge_conservation;
+      ] );
+    ( "checker.clean",
+      [
+        Alcotest.test_case "clean stream passes" `Quick
+          test_clean_stream_passes;
+        Alcotest.test_case "violation metadata" `Quick test_violation_metadata;
+      ] );
+  ]

@@ -1,0 +1,83 @@
+(* Golden-digest corpus: rerun all 13 benchmark experiments through the
+   shared suite library and pin every replay digest against the
+   committed bench/BENCH_baseline.json.  Any unintended change to the
+   event timeline — engine, kernel, IPC layer, workloads — shows up
+   here as a digest mismatch naming the experiment that moved. *)
+
+module Suite = Dipc_bench_suite.Suite
+
+(* The dune rule copies the baseline next to the test binary. *)
+let baseline_path = "../bench/BENCH_baseline.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Naive scanner for the flat one-experiment-per-line JSON we emit:
+   pull every ("name", "digest") string pair out of the experiments
+   array, in order.  Digest values may contain spaces (the raw-state
+   summaries of the machine/engine experiments), so capture runs to
+   the closing quote. *)
+let parse_baseline text =
+  let quoted_after key from =
+    match
+      let rec find i =
+        if i + String.length key > String.length text then None
+        else if String.sub text i (String.length key) = key then Some i
+        else find (i + 1)
+      in
+      find from
+    with
+    | None -> None
+    | Some i -> (
+        let start = i + String.length key in
+        match String.index_from_opt text start '"' with
+        | None -> None
+        | Some stop -> Some (String.sub text start (stop - start), stop))
+  in
+  let rec collect acc from =
+    match quoted_after {|"name": "|} from with
+    | None -> List.rev acc
+    | Some (name, after_name) -> (
+        match quoted_after {|"digest": "|} after_name with
+        | None -> List.rev acc
+        | Some (digest, after_digest) ->
+            collect ((name, digest) :: acc) after_digest)
+  in
+  collect [] 0
+
+let test_baseline_parses () =
+  let pins = parse_baseline (read_file baseline_path) in
+  Alcotest.(check int) "13 pinned experiments" 13 (List.length pins);
+  List.iter
+    (fun (name, digest) ->
+      Alcotest.(check bool)
+        (name ^ " has a digest")
+        true
+        (String.length digest > 0))
+    pins
+
+let test_digests_match_baseline () =
+  let pins = parse_baseline (read_file baseline_path) in
+  let results = Suite.bench_suite () in
+  Alcotest.(check int) "suite covers the pinned corpus" (List.length pins)
+    (List.length results);
+  List.iter2
+    (fun (name, digest) r ->
+      Alcotest.(check string) ("experiment order: " ^ name) name
+        r.Suite.b_name;
+      Alcotest.(check string) ("digest: " ^ name) digest r.Suite.b_digest)
+    pins results
+
+let suites =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "baseline corpus parses" `Quick test_baseline_parses;
+        Alcotest.test_case "all 13 digests match the baseline" `Slow
+          test_digests_match_baseline;
+      ] );
+  ]

@@ -1,0 +1,259 @@
+(* Property tests (qcheck) for the simulation substrate primitives the
+   fault injector and checker lean on: Waitq FIFO/remove discipline,
+   Rng.split stream independence, Histogram bucket boundaries, and
+   Stats against straightforward float references. *)
+
+module Engine = Dipc_sim.Engine
+module Waitq = Dipc_sim.Waitq
+module Rng = Dipc_sim.Rng
+module Histogram = Dipc_sim.Histogram
+module Stats = Dipc_sim.Stats
+
+(* --- Waitq: FIFO wake order, remove keeps order and wakes nobody --- *)
+
+let qcheck_waitq_fifo =
+  QCheck.Test.make ~name:"waitq wakes in FIFO park order" ~count:100
+    QCheck.(int_range 1 25)
+    (fun n ->
+      let e = Engine.create () in
+      let q = Waitq.create () in
+      let woken = ref [] in
+      for i = 1 to n do
+        (* Distinct park times pin the park order to 1..n. *)
+        Engine.spawn ~at:(float_of_int i) e (fun () ->
+            let _v = Waitq.wait q in
+            woken := i :: !woken)
+      done;
+      Engine.spawn ~at:1000. e (fun () ->
+          for _ = 1 to n do
+            ignore (Waitq.wake_one q 0)
+          done);
+      Engine.run e;
+      List.rev !woken = List.init n (fun i -> i + 1))
+
+let qcheck_waitq_remove_preserves_fifo =
+  QCheck.Test.make ~name:"waitq remove keeps remaining FIFO order" ~count:100
+    QCheck.(pair (int_range 2 20) small_nat)
+    (fun (n, k) ->
+      let k = k mod n in
+      let e = Engine.create () in
+      let q = Waitq.create () in
+      let wakers = Array.make n None in
+      let woken = ref [] in
+      let removed_value = ref (-1) in
+      for i = 0 to n - 1 do
+        Engine.spawn ~at:(float_of_int (i + 1)) e (fun () ->
+            let v =
+              Waitq.wait ~on_park:(fun w -> wakers.(i) <- Some w) q
+            in
+            if i = k then removed_value := v else woken := i :: !woken)
+      done;
+      let removed_ok = ref false and regrown = ref false in
+      Engine.spawn ~at:1000. e (fun () ->
+          let w = Option.get wakers.(k) in
+          removed_ok := Waitq.remove q w;
+          regrown := not (Waitq.remove q w);
+          (* wake_all must skip the withdrawn waiter entirely... *)
+          ignore (Waitq.wake_all q 7);
+          (* ...which stays suspended until resumed directly. *)
+          Engine.resume w 99);
+      Engine.run e;
+      !removed_ok && !regrown
+      && !removed_value = 99
+      && List.rev !woken
+         = List.filter (fun i -> i <> k) (List.init n (fun i -> i)))
+
+let test_waitq_remove_unknown_waker () =
+  let e = Engine.create () in
+  let q1 = Waitq.create () in
+  let q2 = Waitq.create () in
+  let checked = ref false in
+  Engine.spawn e (fun () ->
+      ignore
+        (Waitq.wait
+           ~on_park:(fun w ->
+             (* A waker parked on q1 is unknown to q2. *)
+             Engine.spawn e (fun () ->
+                 checked := not (Waitq.remove q2 w);
+                 Engine.resume w 1))
+           q1));
+  Engine.run e;
+  Alcotest.(check bool) "remove from the wrong queue is false" true !checked
+
+(* --- Rng.split: determinism, divergence, designed parent advance --- *)
+
+let draws rng n = List.init n (fun _ -> Rng.next_int64 rng)
+
+let qcheck_split_deterministic =
+  QCheck.Test.make ~name:"rng split is deterministic in the seed" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let a = Rng.create ~seed in
+      let b = Rng.create ~seed in
+      let ca = Rng.split a and cb = Rng.split b in
+      draws ca 8 = draws cb 8 && draws a 8 = draws b 8)
+
+let qcheck_split_diverges =
+  QCheck.Test.make ~name:"rng split child shares no draws with parent"
+    ~count:100 QCheck.small_int
+    (fun seed ->
+      let p = Rng.create ~seed in
+      let c = Rng.split p in
+      (* 16 consecutive 64-bit draws colliding would be astronomically
+         unlikely for a correct split. *)
+      draws p 16 <> draws c 16)
+
+let qcheck_split_advances_parent_by_one =
+  QCheck.Test.make ~name:"rng split advances the parent by one draw"
+    ~count:100 QCheck.small_int
+    (fun seed ->
+      let a = Rng.create ~seed in
+      let b = Rng.copy a in
+      ignore (Rng.next_int64 b);
+      ignore (Rng.split a);
+      draws a 8 = draws b 8)
+
+let qcheck_split_position_matters =
+  QCheck.Test.make ~name:"rng splits at different positions differ" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let a = Rng.create ~seed in
+      let c0 = Rng.split a in
+      let c1 = Rng.split a in
+      draws c0 8 <> draws c1 8)
+
+(* --- Histogram: log2 bucket boundaries, via the public percentile --- *)
+
+let singleton x =
+  let h = Histogram.create () in
+  Histogram.add h x;
+  h
+
+let qcheck_hist_bucket_brackets_sample =
+  QCheck.Test.make ~name:"histogram bucket lower bound brackets the sample"
+    ~count:300
+    QCheck.(float_range 1. 1e9)
+    (fun x ->
+      (* A singleton's percentile is its bucket's lower bound: the
+         largest power of two at or below the sample. *)
+      let p = Histogram.percentile (singleton x) 50. in
+      p <= x && x < 2. *. p)
+
+let qcheck_hist_power_of_two_boundary =
+  QCheck.Test.make ~name:"histogram buckets split exactly at powers of two"
+    ~count:100
+    QCheck.(int_range 1 30)
+    (fun k ->
+      let b = 2. ** float_of_int k in
+      (* On the boundary: the sample starts bucket k... *)
+      Histogram.percentile (singleton b) 50. = b
+      (* ...just below it, bucket k-1. *)
+      && Histogram.percentile (singleton (b *. 0.999)) 50. = b /. 2.)
+
+let test_hist_clamps () =
+  Alcotest.(check (float 0.)) "sub-ns samples land in the first bucket" 1.
+    (Histogram.percentile (singleton 0.25) 50.);
+  Alcotest.(check (float 0.)) "huge samples clamp to the last bucket"
+    (2. ** 39.)
+    (Histogram.percentile (singleton 1e18) 50.);
+  Alcotest.(check (float 0.)) "empty histogram reports 0" 0.
+    (Histogram.percentile (Histogram.create ()) 50.)
+
+let qcheck_hist_percentile_monotone_in_samples =
+  QCheck.Test.make ~name:"histogram p100 bounds every sample" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range 1. 1e9))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let top = Histogram.percentile h 100. in
+      List.for_all (fun x -> x < 2. *. top) xs)
+
+(* --- Stats: Welford accumulator and nearest-rank percentile vs plain
+       float references --- *)
+
+let close ~scale a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. scale
+
+let qcheck_stats_mean_matches_naive_sum =
+  QCheck.Test.make ~name:"stats mean matches the naive sum" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e9))
+    (fun xs ->
+      let t = Stats.create () in
+      List.iter (Stats.add t) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      close ~scale:naive (Stats.mean t) naive)
+
+let qcheck_stats_variance_matches_two_pass =
+  QCheck.Test.make ~name:"stats variance matches the two-pass reference"
+    ~count:300
+    QCheck.(list_of_size Gen.(2 -- 100) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let t = Stats.create () in
+      List.iter (Stats.add t) xs;
+      let n = float_of_int (List.length xs) in
+      let m = List.fold_left ( +. ) 0. xs /. n in
+      let ref_var =
+        List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs
+        /. (n -. 1.)
+      in
+      close ~scale:ref_var (Stats.variance t) ref_var)
+
+let qcheck_stats_percentile_matches_reference =
+  QCheck.Test.make ~name:"stats percentile is nearest-rank of the sorted array"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 80) (float_bound_exclusive 1e9))
+        (float_range 0. 100.))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      let rank = if rank < 1 then 1 else if rank > n then n else rank in
+      Stats.percentile a p = sorted.(rank - 1))
+
+let qcheck_stats_percentile_bounds =
+  QCheck.Test.make ~name:"stats p0/p100 are min/max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 80) (float_bound_exclusive 1e9))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let t = Stats.create () in
+      List.iter (Stats.add t) xs;
+      Stats.percentile a 0. = Stats.min_value t
+      && Stats.percentile a 100. = Stats.max_value t)
+
+let suites =
+  [
+    ( "props.waitq",
+      List.map QCheck_alcotest.to_alcotest
+        [ qcheck_waitq_fifo; qcheck_waitq_remove_preserves_fifo ]
+      @ [
+          Alcotest.test_case "remove unknown waker" `Quick
+            test_waitq_remove_unknown_waker;
+        ] );
+    ( "props.rng",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_split_deterministic;
+          qcheck_split_diverges;
+          qcheck_split_advances_parent_by_one;
+          qcheck_split_position_matters;
+        ] );
+    ( "props.histogram",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_hist_bucket_brackets_sample;
+          qcheck_hist_power_of_two_boundary;
+          qcheck_hist_percentile_monotone_in_samples;
+        ]
+      @ [ Alcotest.test_case "bucket clamps" `Quick test_hist_clamps ] );
+    ( "props.stats",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_stats_mean_matches_naive_sum;
+          qcheck_stats_variance_matches_two_pass;
+          qcheck_stats_percentile_matches_reference;
+          qcheck_stats_percentile_bounds;
+        ] );
+  ]
