@@ -1,0 +1,77 @@
+(* CI comparator: check a freshly generated dipc-bench/v1 report against
+   the committed baseline.
+
+     check_golden.exe BASELINE CANDIDATE [--budget SECONDS]
+
+   Exit 0 when the golden digest and all per-experiment digests match
+   (and, with --budget, total_wall_s is within the budget); exit 1 with
+   a per-experiment diff otherwise.  Replaces the ad-hoc inline python
+   in .github/workflows/ci.yml. *)
+
+module Golden = Dipc_bench_suite.Golden
+
+let () =
+  let budget = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--budget" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some b -> budget := Some b
+        | None ->
+            prerr_endline "--budget needs a number of seconds";
+            exit 2);
+        parse rest
+    | [ "--budget" ] ->
+        prerr_endline "--budget needs a number of seconds";
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, candidate_path =
+    match List.rev !paths with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        prerr_endline "usage: check_golden BASELINE CANDIDATE [--budget SECONDS]";
+        exit 2
+  in
+  let baseline = Golden.read_file baseline_path in
+  let candidate = Golden.read_file candidate_path in
+  let failed = ref false in
+  (match
+     ( Golden.scalar_string baseline "golden_digest",
+       Golden.scalar_string candidate "golden_digest" )
+   with
+  | Some b, Some c when b = c -> Printf.printf "golden digest %s OK\n" c
+  | b, c ->
+      failed := true;
+      Printf.printf "golden digest MISMATCH: baseline %s, candidate %s\n"
+        (Option.value b ~default:"<missing>")
+        (Option.value c ~default:"<missing>"));
+  let mismatches = Golden.compare_digests ~baseline ~candidate in
+  let total = List.length (Golden.parse_report baseline) in
+  if mismatches = [] then
+    Printf.printf "%d/%d experiment digests match the baseline\n" total total
+  else begin
+    failed := true;
+    List.iter
+      (fun m ->
+        Printf.printf "MISMATCH %-20s expected %s\n%-29s got %s\n"
+          m.Golden.mm_name m.Golden.mm_expected "" m.Golden.mm_actual)
+      mismatches
+  end;
+  (match !budget with
+  | None -> ()
+  | Some b -> (
+      match Golden.scalar_float candidate "total_wall_s" with
+      | Some w when w <= b ->
+          Printf.printf "total_wall_s %.3f within budget %.1f s\n" w b
+      | Some w ->
+          failed := true;
+          Printf.printf "total_wall_s %.3f EXCEEDS budget %.1f s\n" w b
+      | None ->
+          failed := true;
+          print_endline "candidate has no total_wall_s field"));
+  if !failed then exit 1

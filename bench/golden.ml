@@ -1,0 +1,117 @@
+(* Shared golden-digest corpus helpers: one parser for the
+   dipc-bench/v1 JSON report, used by the dune test suite
+   (test_golden.ml), the parallel differential tests
+   (test_parallel.ml), and the CI comparator (check_golden.ml) — the
+   pins live in exactly one place, bench/BENCH_baseline.json. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Naive scanner for the flat one-experiment-per-line JSON we emit:
+   pull every ("name", "digest") string pair out of the experiments
+   array, in order.  Digest values may contain spaces (the raw-state
+   summaries of the machine/engine experiments), so capture runs to
+   the closing quote. *)
+let parse_report text =
+  let quoted_after key from =
+    match
+      let rec find i =
+        if i + String.length key > String.length text then None
+        else if String.sub text i (String.length key) = key then Some i
+        else find (i + 1)
+      in
+      find from
+    with
+    | None -> None
+    | Some i -> (
+        let start = i + String.length key in
+        match String.index_from_opt text start '"' with
+        | None -> None
+        | Some stop -> Some (String.sub text start (stop - start), stop))
+  in
+  let rec collect acc from =
+    match quoted_after {|"name": "|} from with
+    | None -> List.rev acc
+    | Some (name, after_name) -> (
+        match quoted_after {|"digest": "|} after_name with
+        | None -> List.rev acc
+        | Some (digest, after_digest) ->
+            collect ((name, digest) :: acc) after_digest)
+  in
+  collect [] 0
+
+let parse_file path = parse_report (read_file path)
+
+(* Top-level scalar fields ("golden_digest", "total_wall_s", ...): first
+   occurrence wins, which is the document header in our flat emitter. *)
+let scalar_string text key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length text then None
+    else if String.sub text i plen = pat then
+      let start = i + plen in
+      String.index_from_opt text start '"'
+      |> Option.map (fun stop -> String.sub text start (stop - start))
+    else find (i + 1)
+  in
+  find 0
+
+let scalar_float text key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length text then None
+    else if String.sub text i plen = pat then
+      let start = i + plen in
+      let stop = ref start in
+      let len = String.length text in
+      while
+        !stop < len
+        && (match text.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub text start (!stop - start))
+    else find (i + 1)
+  in
+  find 0
+
+type mismatch = {
+  mm_name : string;
+  mm_expected : string;  (* "<missing>" when absent on that side *)
+  mm_actual : string;
+}
+
+(* Compare a candidate report's per-experiment digests against the
+   baseline's: order-sensitive on the baseline corpus (the suite order
+   is part of the contract), and any extra/missing experiment is a
+   mismatch too. *)
+let compare_digests ~baseline ~candidate =
+  let cand = parse_report candidate in
+  let rec go acc base cand =
+    match (base, cand) with
+    | [], [] -> List.rev acc
+    | (n, d) :: bs, [] ->
+        go ({ mm_name = n; mm_expected = d; mm_actual = "<missing>" } :: acc) bs
+          []
+    | [], (n, d) :: cs ->
+        go ({ mm_name = n; mm_expected = "<missing>"; mm_actual = d } :: acc) []
+          cs
+    | (bn, bd) :: bs, (cn, cd) :: cs ->
+        let acc =
+          if bn <> cn then
+            { mm_name = bn ^ "/" ^ cn; mm_expected = bn; mm_actual = cn } :: acc
+          else if bd <> cd then
+            { mm_name = bn; mm_expected = bd; mm_actual = cd } :: acc
+          else acc
+        in
+        go acc bs cs
+  in
+  go [] (parse_report baseline) cand

@@ -17,41 +17,57 @@
    Flags (recognised anywhere on the command line):
      --check            attach the online invariant checker to traced runs
      --inject SEED      install a seeded fault injector (same seed =>
-                        byte-identical injected digest) *)
+                        byte-identical injected digest)
+     --jobs N           shard independent runs over N domains (0 = one per
+                        recommended core); digests and printed results are
+                        identical at any N *)
 
 module Suite = Dipc_bench_suite.Suite
+module Parallel = Dipc_sim.Parallel
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec extract check inject acc = function
-    | [] -> (check, inject, List.rev acc)
-    | "--check" :: rest -> extract true inject acc rest
+  let rec extract check inject jobs acc = function
+    | [] -> (check, inject, jobs, List.rev acc)
+    | "--check" :: rest -> extract true inject jobs acc rest
     | [ "--inject" ] ->
         Printf.eprintf "--inject needs an integer seed\n";
         exit 2
     | "--inject" :: s :: rest -> (
         match int_of_string_opt s with
-        | Some seed -> extract check (Some seed) acc rest
+        | Some seed -> extract check (Some seed) jobs acc rest
         | None ->
             Printf.eprintf "--inject needs an integer seed, got %S\n" s;
             exit 2)
-    | x :: rest -> extract check inject (x :: acc) rest
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs needs an integer count\n";
+        exit 2
+    | "--jobs" :: s :: rest -> (
+        match int_of_string_opt s with
+        | Some 0 -> extract check inject (Parallel.default_jobs ()) acc rest
+        | Some n when n > 0 -> extract check inject n acc rest
+        | _ ->
+            Printf.eprintf "--jobs needs a non-negative integer, got %S\n" s;
+            exit 2)
+    | x :: rest -> extract check inject jobs (x :: acc) rest
   in
-  let check, inject_seed, args = extract false None [] args in
+  let check, inject_seed, jobs, args = extract false None 1 [] args in
   match args with
   | "--trace" :: rest ->
       Suite.trace_smoke (match rest with out :: _ -> out | [] -> "trace.json")
   | "--json" :: rest ->
-      Suite.bench_json ~check ?inject_seed
+      Suite.bench_json ~check ?inject_seed ~jobs
         (match rest with out :: _ -> out | [] -> "BENCH_fixed_seed.json")
   | "--matrix" :: _ ->
-      let runs, faults = Suite.fault_matrix ~verbose:true ?seed:inject_seed () in
+      let runs, faults =
+        Suite.fault_matrix ~verbose:true ?seed:inject_seed ~jobs ()
+      in
       Printf.printf "fault matrix: %d runs checked, %d faults injected\n%!" runs
         faults
   | [] ->
       if check || inject_seed <> None then
         (* flags without a mode: run the digest suite under them *)
-        Suite.bench_json ~check ?inject_seed "BENCH_fixed_seed.json"
+        Suite.bench_json ~check ?inject_seed ~jobs "BENCH_fixed_seed.json"
       else List.iter (fun (_, f) -> f ()) Suite.experiments
   | names ->
       List.iter

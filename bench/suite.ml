@@ -17,6 +17,7 @@
 module Costs = Dipc_sim.Costs
 module Breakdown = Dipc_sim.Breakdown
 module Stats = Dipc_sim.Stats
+module Parallel = Dipc_sim.Parallel
 module Types = Dipc_core.Types
 module Scenario = Dipc_core.Scenario
 module Entry = Dipc_core.Entry
@@ -33,27 +34,45 @@ let header title =
   Printf.printf "%s\n" title;
   Printf.printf "==============================================================\n%!"
 
-(* --- measured dIPC costs shared by several experiments --- *)
+(* --- measured dIPC costs shared by several experiments ---
 
-let dipc_costs = lazy (
-  let m kind =
-    (Scenario.measure kind).Stats.s_mean
-  in
-  let low_same = m (Scenario.make ~same_process:true ()) in
-  let high_same =
-    m (Scenario.make ~same_process:true ~caller_props:Types.props_high
-         ~callee_props:Types.props_high ())
-  in
-  let low_proc = m (Scenario.make ()) in
-  let high_proc =
-    m (Scenario.make ~caller_props:Types.props_high ~callee_props:Types.props_high ())
-  in
-  let low_proc_tls = m (Scenario.make ~tls_optimized:true ()) in
-  let high_proc_tls =
-    m (Scenario.make ~tls_optimized:true ~caller_props:Types.props_high
-         ~callee_props:Types.props_high ())
-  in
-  (low_same, high_same, low_proc, high_proc, low_proc_tls, high_proc_tls))
+   A mutex-protected memo rather than [lazy]: experiments reach this
+   from concurrent runner domains, and forcing a lazy from two domains
+   at once raises [CamlinternalLazy.Undefined].  The measurement is
+   deterministic, so whichever domain computes first stores the same
+   value any other would. *)
+
+let dipc_costs_mutex = Mutex.create ()
+
+let dipc_costs_memo = ref None
+
+let dipc_costs () =
+  Mutex.protect dipc_costs_mutex (fun () ->
+      match !dipc_costs_memo with
+      | Some c -> c
+      | None ->
+          let m kind = (Scenario.measure kind).Stats.s_mean in
+          let low_same = m (Scenario.make ~same_process:true ()) in
+          let high_same =
+            m (Scenario.make ~same_process:true ~caller_props:Types.props_high
+                 ~callee_props:Types.props_high ())
+          in
+          let low_proc = m (Scenario.make ()) in
+          let high_proc =
+            m
+              (Scenario.make ~caller_props:Types.props_high
+                 ~callee_props:Types.props_high ())
+          in
+          let low_proc_tls = m (Scenario.make ~tls_optimized:true ()) in
+          let high_proc_tls =
+            m (Scenario.make ~tls_optimized:true ~caller_props:Types.props_high
+                 ~callee_props:Types.props_high ())
+          in
+          let c =
+            (low_same, high_same, low_proc, high_proc, low_proc_tls, high_proc_tls)
+          in
+          dipc_costs_memo := Some c;
+          c)
 
 (* ================= Figure 1 ================= *)
 
@@ -132,7 +151,7 @@ let table1 () =
 let fig5 () =
   header "Figure 5: performance of synchronous calls (1-byte argument)";
   let low_same, high_same, low_proc, high_proc, low_tls, high_tls =
-    Lazy.force dipc_costs
+    dipc_costs ()
   in
   let row name ns = Printf.printf "  %-28s %8.1f ns  (%6.0fx func call)\n" name ns (ns /. Costs.function_call) in
   row "Function call" Costs.function_call;
@@ -175,7 +194,7 @@ let fig6 () =
   header
     "Figure 6: added execution time vs argument size (consumer-producer\n\
      synchronous call; baseline = function call with the same payload)";
-  let low_same, high_same, low_proc, high_proc, _, _ = Lazy.force dipc_costs in
+  let low_same, high_same, low_proc, high_proc, _, _ = dipc_costs () in
   let urpc_fixed bytes =
     (M.run ~bytes ~warmup:10 ~iters:60 ~same_cpu:false M.User_rpc_prim).M.mean_ns
     -. M.baseline_payload_ns bytes
@@ -204,8 +223,8 @@ let fig6 () =
 (* ================= Figure 7 ================= *)
 
 let netpipe_costs () =
-  let _, _, low_proc, _, _, _ = Lazy.force dipc_costs in
-  let low_same, _, _, _, _, _ = Lazy.force dipc_costs in
+  let _, _, low_proc, _, _, _ = dipc_costs () in
+  let low_same, _, _, _, _, _ = dipc_costs () in
   {
     N.sem_roundtrip = (M.run ~same_cpu:true M.Sem).M.mean_ns;
     pipe_roundtrip = (M.run ~same_cpu:true M.Pipe).M.mean_ns;
@@ -332,6 +351,10 @@ let stub_coopt () =
 
 let templates () =
   header "Sec. 6.1.1: proxy template statistics";
+  (* One cache shared by every scenario below (the paper's build-time
+     template sharing); the per-system default exists for domain safety
+     and would count each system separately. *)
+  let cache = Dipc_core.Proxy_cache.create () in
   (* Instantiate a representative spread of specialisations. *)
   let combos =
     [
@@ -349,16 +372,16 @@ let templates () =
         (fun sig_ ->
           ignore
             (Scenario.make ~same_process:same ~caller_props:cp ~callee_props:kp
-               ~sig_ ()))
+               ~sig_ ~proxy_cache:cache ()))
         [
           Types.signature ~args:1 ~rets:1 ();
           Types.signature ~args:4 ~rets:1 ~stack_bytes:32 ();
           Types.signature ~args:2 ~rets:1 ~cap_args:2 ~cap_rets:1 ();
         ])
     combos;
-  let count, bytes = Proxy.stats Entry.template_cache in
+  let count, bytes = Proxy.stats cache in
   Printf.printf "  distinct templates instantiated : %d\n"
-    (Proxy.template_count Entry.template_cache);
+    (Proxy.template_count cache);
   Printf.printf "  proxies generated               : %d\n" count;
   Printf.printf "  average proxy size              : %d B (paper: ~600 B)\n%!"
     (if count = 0 then 0 else bytes / count)
@@ -677,26 +700,62 @@ let bench_engine_timerstorm () =
     b_metric = float_of_int steps /. wall;
   }
 
-let bench_suite ?check ?inject_seed () =
-  [
-    bench_golden ?check ?inject_seed ();
-    bench_micro ?check ?inject_seed "sem_same" M.Sem ~same_cpu:true;
-    bench_micro ?check ?inject_seed "sem_diff" M.Sem ~same_cpu:false;
-    bench_micro ?check ?inject_seed "pipe_same" M.Pipe ~same_cpu:true;
-    bench_micro ?check ?inject_seed "pipe_diff" M.Pipe ~same_cpu:false;
-    bench_micro ?check ?inject_seed "l4_same" M.L4 ~same_cpu:true;
-    bench_micro ?check ?inject_seed "rpc_same" M.Local_rpc ~same_cpu:true;
-    bench_micro ?check ?inject_seed "rpc_diff" M.Local_rpc ~same_cpu:false;
-    bench_oltp ?check ?inject_seed "oltp_linux_mem96" O.Linux;
-    bench_oltp ?check ?inject_seed "oltp_dipc_mem96" O.Dipc;
-    bench_oltp ?check ?inject_seed "oltp_ideal_mem96" O.Ideal;
-    bench_machine_hotloop ();
-    bench_engine_timerstorm ();
-  ]
+(* The 13 experiments as independent tasks for the work-queue runner.
+   Every task builds its own Engine/Trace/Rng/Checker universe, so the
+   digests are identical whether the tasks run serially or sharded
+   across domains — the property test_parallel.ml pins. *)
+let bench_tasks ?check ?inject_seed () =
+  [|
+    ("golden_sem_same", fun () -> bench_golden ?check ?inject_seed ());
+    ( "sem_same",
+      fun () -> bench_micro ?check ?inject_seed "sem_same" M.Sem ~same_cpu:true );
+    ( "sem_diff",
+      fun () -> bench_micro ?check ?inject_seed "sem_diff" M.Sem ~same_cpu:false );
+    ( "pipe_same",
+      fun () -> bench_micro ?check ?inject_seed "pipe_same" M.Pipe ~same_cpu:true );
+    ( "pipe_diff",
+      fun () -> bench_micro ?check ?inject_seed "pipe_diff" M.Pipe ~same_cpu:false );
+    ( "l4_same",
+      fun () -> bench_micro ?check ?inject_seed "l4_same" M.L4 ~same_cpu:true );
+    ( "rpc_same",
+      fun () ->
+        bench_micro ?check ?inject_seed "rpc_same" M.Local_rpc ~same_cpu:true );
+    ( "rpc_diff",
+      fun () ->
+        bench_micro ?check ?inject_seed "rpc_diff" M.Local_rpc ~same_cpu:false );
+    ( "oltp_linux_mem96",
+      fun () -> bench_oltp ?check ?inject_seed "oltp_linux_mem96" O.Linux );
+    ( "oltp_dipc_mem96",
+      fun () -> bench_oltp ?check ?inject_seed "oltp_dipc_mem96" O.Dipc );
+    ( "oltp_ideal_mem96",
+      fun () -> bench_oltp ?check ?inject_seed "oltp_ideal_mem96" O.Ideal );
+    ("machine_hotloop", fun () -> bench_machine_hotloop ());
+    ("engine_timerstorm", fun () -> bench_engine_timerstorm ());
+  |]
 
-let write_bench_json out results =
+(* Run the fixed-seed suite, sharded over [jobs] domains (default 1:
+   the plain serial path).  Outcomes carry per-run wall/allocation
+   stats; order is always submission order. *)
+let bench_suite_outcomes ?check ?inject_seed ?(jobs = 1) () =
+  Parallel.run ~jobs (bench_tasks ?check ?inject_seed ())
+
+let bench_suite ?check ?inject_seed ?jobs () =
+  Array.to_list
+    (Array.map
+       (fun o -> o.Parallel.o_value)
+       (bench_suite_outcomes ?check ?inject_seed ?jobs ()))
+
+(* [total_wall_s] stays the *sum* of per-run walls (the CI time budget
+   compares CPU work, which sharding does not reduce); [elapsed_wall_s]
+   is the elapsed time of the sharded run and [jobs] records the shard
+   count.  [minor_words] is the per-domain minor-allocation estimate of
+   each run (Gc.minor_words is domain-local in OCaml 5). *)
+let write_bench_json ?(jobs = 1) ?elapsed_s out
+    (outcomes : bench_result Parallel.outcome array) =
+  let results = Array.to_list (Array.map (fun o -> o.Parallel.o_value) outcomes) in
   let total_wall = List.fold_left (fun a r -> a +. r.b_wall_s) 0. results in
   let total_events = List.fold_left (fun a r -> a + r.b_events) 0 results in
+  let elapsed = match elapsed_s with Some e -> e | None -> total_wall in
   let golden =
     match List.find_opt (fun r -> r.b_name = "golden_sem_same") results with
     | Some r -> r.b_digest
@@ -707,27 +766,31 @@ let write_bench_json out results =
   Printf.fprintf oc "  \"schema\": \"dipc-bench/v1\",\n";
   Printf.fprintf oc "  \"suite\": \"fixed-seed-v1\",\n";
   Printf.fprintf oc "  \"ocaml_version\": \"%s\",\n" Sys.ocaml_version;
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"golden_digest\": \"%s\",\n" golden;
   Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" total_wall;
+  Printf.fprintf oc "  \"elapsed_wall_s\": %.6f,\n" elapsed;
   Printf.fprintf oc "  \"total_events\": %d,\n" total_events;
   Printf.fprintf oc "  \"events_per_sec\": %.1f,\n"
     (float_of_int total_events /. total_wall);
   Printf.fprintf oc "  \"experiments\": [\n";
-  List.iteri
-    (fun i r ->
+  let n = Array.length outcomes in
+  Array.iteri
+    (fun i o ->
+      let r = o.Parallel.o_value in
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"wall_s\": %.6f, \"sim_ns\": %.3f, \
-         \"events\": %d, \"events_per_sec\": %.1f, \"digest\": \"%s\", \
-         \"metric_name\": \"%s\", \"metric\": %.6f}%s\n"
+         \"events\": %d, \"events_per_sec\": %.1f, \"minor_words\": %.0f, \
+         \"digest\": \"%s\", \"metric_name\": \"%s\", \"metric\": %.6f}%s\n"
         r.b_name r.b_wall_s r.b_sim_ns r.b_events
         (float_of_int r.b_events /. r.b_wall_s)
-        r.b_digest r.b_metric_name r.b_metric
-        (if i = List.length results - 1 then "" else ","))
-    results;
+        o.Parallel.o_minor_words r.b_digest r.b_metric_name r.b_metric
+        (if i = n - 1 then "" else ","))
+    outcomes;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-let bench_json ?(check = false) ?inject_seed out =
+let bench_json ?(check = false) ?inject_seed ?(jobs = 1) out =
   header "Fixed-seed benchmark suite (machine-readable)";
   (match inject_seed with
   | Some seed ->
@@ -737,7 +800,11 @@ let bench_json ?(check = false) ?inject_seed out =
         seed
   | None -> ());
   if check then Printf.printf "  invariant checker attached to every traced run\n";
-  let results = bench_suite ~check ?inject_seed () in
+  if jobs > 1 then Printf.printf "  sharded across %d domains\n" jobs;
+  let t0 = Unix.gettimeofday () in
+  let outcomes = bench_suite_outcomes ~check ?inject_seed ~jobs () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let results = Array.to_list (Array.map (fun o -> o.Parallel.o_value) outcomes) in
   List.iter
     (fun r ->
       Printf.printf "  %-20s %8.3f s  %9d events  %12.0f ev/s  %s=%.1f\n"
@@ -746,11 +813,13 @@ let bench_json ?(check = false) ?inject_seed out =
         r.b_metric_name r.b_metric)
     results;
   let total_wall = List.fold_left (fun a r -> a +. r.b_wall_s) 0. results in
-  Printf.printf "  total wall: %.3f s\n" total_wall;
+  Printf.printf "  total wall: %.3f s (elapsed %.3f s, %d job%s)\n" total_wall
+    elapsed jobs
+    (if jobs = 1 then "" else "s");
   (match List.find_opt (fun r -> r.b_name = "golden_sem_same") results with
   | Some r -> Printf.printf "  golden digest: %s\n" r.b_digest
   | None -> ());
-  write_bench_json out results;
+  write_bench_json ~jobs ~elapsed_s:elapsed out outcomes;
   Printf.printf "  wrote %s\n%!" out
 
 (* ================= trace smoke ================= *)
@@ -777,7 +846,19 @@ let trace_smoke out =
    must reproduce its digest exactly; charge conservation is checked
    against the kernel's lifetime totals.  Returns (runs, faults
    injected). *)
-let fault_matrix ?(seed = 7) ?(verbose = false) () =
+(* One matrix cell = one independent task for the runner: it builds its
+   own traces/checkers/injectors, performs its internal reproducibility
+   check, and returns a pure value.  The verbose line is pre-rendered so
+   the merged output is byte-identical at any [jobs]. *)
+type cell_result = {
+  cr_name : string;
+  cr_runs : int;  (* simulation runs performed by the cell *)
+  cr_faults : int;  (* faults injected across those runs *)
+  cr_digest : string;  (* representative replay digest *)
+  cr_line : string;  (* pre-rendered verbose line; "" when silent *)
+}
+
+let matrix_cells ?(seed = 7) () =
   let schedules =
     [ ("default", Inject.default_config); ("aggressive", Inject.aggressive_config) ]
   in
@@ -790,7 +871,6 @@ let fault_matrix ?(seed = 7) ?(verbose = false) () =
       (M.User_rpc_prim, "urpc");
     ]
   in
-  let runs = ref 0 and faults = ref 0 in
   let micro ~config ~seed prim ~same_cpu =
     let tr = Trace.create () in
     let chk = Checker.create () in
@@ -799,89 +879,149 @@ let fault_matrix ?(seed = 7) ?(verbose = false) () =
     let r = M.run ~warmup:5 ~iters:25 ~trace:tr ~inject:inj ~same_cpu prim in
     Checker.finish ~quiescent:(prim_quiescent prim) ~expect:r.M.lifetime chk;
     Checker.detach tr;
-    incr runs;
-    faults := !faults + Inject.total_faults inj;
-    (Trace.digest_hex tr, r.M.mean_ns)
+    (Trace.digest_hex tr, r.M.mean_ns, Inject.total_faults inj)
   in
-  List.iter
-    (fun (sname, config) ->
-      List.iter
-        (fun (prim, pname) ->
-          List.iter
-            (fun same_cpu ->
-              List.iter
-                (fun s ->
-                  let d1, m1 = micro ~config ~seed:s prim ~same_cpu in
-                  let d2, _ = micro ~config ~seed:s prim ~same_cpu in
-                  if d1 <> d2 then
-                    failwith
-                      (Printf.sprintf
-                         "fault matrix: %s/%s seed %d not reproducible: %s vs %s"
-                         pname sname s d1 d2);
-                  if verbose then
-                    Printf.printf
-                      "  %-5s %-10s %-6s seed=%-3d digest=%s mean=%8.1f ns\n%!"
-                      pname sname
-                      (if same_cpu then "=CPU" else "!=CPU")
-                      s d1 m1)
-                [ seed; seed + 1 ])
-            [ true; false ])
-        prims)
-    schedules;
+  let micro_cell (sname, config) (prim, pname) same_cpu s =
+    let name =
+      Printf.sprintf "%s/%s/%s/seed=%d" pname sname
+        (if same_cpu then "=CPU" else "!=CPU")
+        s
+    in
+    ( name,
+      fun () ->
+        let d1, m1, f1 = micro ~config ~seed:s prim ~same_cpu in
+        let d2, _, f2 = micro ~config ~seed:s prim ~same_cpu in
+        if d1 <> d2 then
+          failwith
+            (Printf.sprintf
+               "fault matrix: %s/%s seed %d not reproducible: %s vs %s" pname
+               sname s d1 d2);
+        {
+          cr_name = name;
+          cr_runs = 2;
+          cr_faults = f1 + f2;
+          cr_digest = d1;
+          cr_line =
+            Printf.sprintf
+              "  %-5s %-10s %-6s seed=%-3d digest=%s mean=%8.1f ns\n" pname
+              sname
+              (if same_cpu then "=CPU" else "!=CPU")
+              s d1 m1;
+        } )
+  in
   (* Short OLTP cells under injection: deadline-stopped, so structural
      invariants only (no quiescence / conservation reference). *)
-  List.iter
-    (fun config ->
-      let p =
+  let oltp_cell config =
+    ( Printf.sprintf "oltp/%s" (O.config_name config),
+      fun () ->
+        let p =
+          {
+            (O.default_params ~db_mode:O.In_memory ~threads:8) with
+            O.warmup = 1_000_000.;
+            duration = 20_000_000.;
+          }
+        in
+        let tr = Trace.create () in
+        let chk = Checker.create () in
+        Checker.attach chk tr;
+        let inj = Inject.create ~seed () in
+        let r =
+          O.run ~params_override:(Some p) ~trace:tr ~inject:inj ~config
+            ~db_mode:O.In_memory ~threads:8 ()
+        in
+        Checker.finish ~quiescent:false chk;
+        Checker.detach tr;
         {
-          (O.default_params ~db_mode:O.In_memory ~threads:8) with
-          O.warmup = 1_000_000.;
-          duration = 20_000_000.;
-        }
-      in
-      let tr = Trace.create () in
-      let chk = Checker.create () in
-      Checker.attach chk tr;
-      let inj = Inject.create ~seed () in
-      let r =
-        O.run ~params_override:(Some p) ~trace:tr ~inject:inj ~config
-          ~db_mode:O.In_memory ~threads:8 ()
-      in
-      Checker.finish ~quiescent:false chk;
-      Checker.detach tr;
-      incr runs;
-      faults := !faults + Inject.total_faults inj;
-      if verbose then
-        Printf.printf "  oltp  %-10s thr=8  digest=%s tput=%8.0f opm\n%!"
-          (O.config_name config) (Trace.digest_hex tr) r.O.r_throughput_opm)
-    [ O.Linux; O.Dipc ];
+          cr_name = Printf.sprintf "oltp/%s" (O.config_name config);
+          cr_runs = 1;
+          cr_faults = Inject.total_faults inj;
+          cr_digest = Trace.digest_hex tr;
+          cr_line =
+            Printf.sprintf "  oltp  %-10s thr=8  digest=%s tput=%8.0f opm\n"
+              (O.config_name config) (Trace.digest_hex tr)
+              r.O.r_throughput_opm;
+        } )
+  in
   (* Netpipe overheads recomputed from injected microbench costs: the
      analytic model must stay finite on a faulty substrate. *)
-  let inj_cost prim =
-    let inj = Inject.create ~seed () in
-    (M.run ~warmup:5 ~iters:25 ~inject:inj ~same_cpu:true prim).M.mean_ns
+  let netpipe_cell =
+    ( "netpipe/finite",
+      fun () ->
+        let inj_cost prim =
+          let inj = Inject.create ~seed () in
+          (M.run ~warmup:5 ~iters:25 ~inject:inj ~same_cpu:true prim).M.mean_ns
+        in
+        let low_same, _, low_proc, _, _, _ = dipc_costs () in
+        let c =
+          {
+            N.sem_roundtrip = inj_cost M.Sem;
+            pipe_roundtrip = inj_cost M.Pipe;
+            dipc_proc_call = low_proc;
+            dipc_same_call = low_same;
+          }
+        in
+        List.iter
+          (fun m ->
+            List.iter
+              (fun bytes ->
+                let l = N.latency_overhead_pct c m ~bytes in
+                let b = N.bandwidth_overhead_pct c m ~bytes in
+                if not (Float.is_finite l && Float.is_finite b) then
+                  failwith "fault matrix: netpipe overhead not finite")
+              [ 1; 256; 4096 ])
+          [ N.Pipe_ipc; N.Sem_ipc; N.Dipc_proc; N.Dipc_same ];
+        {
+          cr_name = "netpipe/finite";
+          cr_runs = 2;
+          cr_faults = 0;
+          cr_digest = "";
+          cr_line = "";
+        } )
   in
-  let low_same, _, low_proc, _, _, _ = Lazy.force dipc_costs in
-  let c =
-    {
-      N.sem_roundtrip = inj_cost M.Sem;
-      pipe_roundtrip = inj_cost M.Pipe;
-      dipc_proc_call = low_proc;
-      dipc_same_call = low_same;
-    }
+  let micro_cells =
+    List.concat_map
+      (fun sched ->
+        List.concat_map
+          (fun prim ->
+            List.concat_map
+              (fun same_cpu ->
+                List.map (micro_cell sched prim same_cpu) [ seed; seed + 1 ])
+              [ true; false ])
+          prims)
+      schedules
   in
-  List.iter
-    (fun m ->
-      List.iter
-        (fun bytes ->
-          let l = N.latency_overhead_pct c m ~bytes in
-          let b = N.bandwidth_overhead_pct c m ~bytes in
-          if not (Float.is_finite l && Float.is_finite b) then
-            failwith "fault matrix: netpipe overhead not finite")
-        [ 1; 256; 4096 ])
-    [ N.Pipe_ipc; N.Sem_ipc; N.Dipc_proc; N.Dipc_same ];
-  runs := !runs + 2;
-  (!runs, !faults)
+  Array.of_list
+    (micro_cells @ [ oltp_cell O.Linux; oltp_cell O.Dipc; netpipe_cell ])
+
+(* Structured matrix results, for tests: [sample] keeps every n-th cell
+   (a cheap cross-section that still spans both schedules and all
+   primitives). *)
+let matrix_results ?seed ?(jobs = 1) ?sample () =
+  let cells = matrix_cells ?seed () in
+  let cells =
+    match sample with
+    | None -> cells
+    | Some n ->
+        Array.of_list
+          (List.filteri (fun i _ -> i mod n = 0) (Array.to_list cells))
+  in
+  Array.to_list
+    (Array.map (fun o -> o.Parallel.o_value) (Parallel.run ~jobs cells))
+
+(* The CLI entry point: run every cell (sharded over [jobs] domains),
+   then print the verbose lines in submission order -- stdout is
+   byte-identical at any [jobs].  Returns (runs, faults injected). *)
+let fault_matrix ?seed ?(verbose = false) ?jobs () =
+  let results = matrix_results ?seed ?jobs () in
+  if verbose then begin
+    List.iter
+      (fun r -> if r.cr_line <> "" then print_string r.cr_line)
+      results;
+    flush stdout
+  end;
+  List.fold_left
+    (fun (runs, faults) r -> (runs + r.cr_runs, faults + r.cr_faults))
+    (0, 0) results
 
 (* ================= experiment registry ================= *)
 

@@ -13,6 +13,8 @@ module Stats = Dipc_sim.Stats
 module Trace = Dipc_sim.Trace
 module Inject = Dipc_sim.Inject
 module Checker = Dipc_sim.Checker
+module Parallel = Dipc_sim.Parallel
+module Suite = Dipc_bench_suite.Suite
 module Types = Dipc_core.Types
 module Scenario = Dipc_core.Scenario
 module Proxy = Dipc_core.Proxy
@@ -63,6 +65,17 @@ let check_arg =
           "run under event tracing with the online invariant checker \
            attached; any scheduler-invariant violation aborts loudly")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "shard independent runs over $(docv) OCaml domains (0 = one per \
+           recommended core); per-run digests and printed results are \
+           identical at any $(docv)")
+
+let resolve_jobs n = if n = 0 then Parallel.default_jobs () else n
+
 (* One injector per run from the CLI seed; [None] leaves every hook a
    no-op. *)
 let mk_inject = Option.map (fun seed -> Inject.create ~seed ())
@@ -76,14 +89,21 @@ let mk_checker check =
     (Some tr, Some c)
   end
 
-let finish_checker ?quiescent ?expect tr chk =
+(* Silent variant for parallel grid cells: output is pre-rendered on the
+   worker and printed by the main domain in submission order. *)
+let finish_checker_silent ?quiescent ?expect tr chk =
   match (tr, chk) with
   | Some tr, Some c ->
       Checker.finish ?quiescent ?expect c;
       Checker.detach tr;
-      Printf.printf "  checker: %d events seen, all invariants hold\n"
-        (Checker.events_seen c)
-  | _ -> ()
+      Some (Checker.events_seen c)
+  | _ -> None
+
+let finish_checker ?quiescent ?expect tr chk =
+  match finish_checker_silent ?quiescent ?expect tr chk with
+  | Some seen ->
+      Printf.printf "  checker: %d events seen, all invariants hold\n" seen
+  | None -> ()
 
 let report_inject inject =
   match inject with
@@ -125,26 +145,73 @@ let primitive_conv =
   in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (M.primitive_name p))
 
-let run_ipc primitive same_cpu bytes inject_seed check =
-  let inject = mk_inject inject_seed in
-  let tr, chk = mk_checker check in
-  let r = M.run ~bytes ?trace:tr ?inject ~same_cpu primitive in
-  (* The L4 server's final reply_and_wait parks it forever by design:
-     skip the quiescence assertion for that primitive only. *)
-  finish_checker ~quiescent:(primitive <> M.L4) ~expect:r.M.lifetime tr chk;
-  Printf.printf "%s (%s), %d-byte argument:\n" (M.primitive_name primitive)
-    (if same_cpu then "=CPU" else "!=CPU")
-    bytes;
-  Printf.printf "  %.1f ns per synchronous round trip\n" r.M.mean_ns;
-  report_inject inject;
-  (match tr with
-  | Some tr -> Printf.printf "  replay digest %s\n" (Trace.digest_hex tr)
-  | None -> ());
-  Array.iteri
-    (fun i bd ->
-      if Dipc_sim.Breakdown.total bd > 1. then
-        Fmt.pr "  CPU %d: %a@." (i + 1) Dipc_sim.Breakdown.pp bd)
-    r.M.per_cpu
+(* The full primitive x placement grid as independent runner tasks: each
+   cell builds its own trace/checker/injector and returns a pre-rendered
+   line, so output is identical at any --jobs. *)
+let run_ipc_all bytes inject_seed check jobs =
+  let prims =
+    [
+      (M.Sem, "sem");
+      (M.Pipe, "pipe");
+      (M.L4, "l4");
+      (M.Local_rpc, "rpc");
+      (M.User_rpc_prim, "user-rpc");
+    ]
+  in
+  let cell (prim, name) same_cpu =
+    ( Printf.sprintf "%s/%s" name (if same_cpu then "=CPU" else "!=CPU"),
+      fun () ->
+        let inject = mk_inject inject_seed in
+        let tr, chk = mk_checker check in
+        let r = M.run ~bytes ?trace:tr ?inject ~same_cpu prim in
+        let seen =
+          finish_checker_silent ~quiescent:(prim <> M.L4) ~expect:r.M.lifetime
+            tr chk
+        in
+        Printf.sprintf "  %-9s %-6s %9.1f ns%s%s\n" name
+          (if same_cpu then "=CPU" else "!=CPU")
+          r.M.mean_ns
+          (match tr with
+          | Some tr -> "  digest=" ^ Trace.digest_hex tr
+          | None -> "")
+          (match seen with
+          | Some n -> Printf.sprintf "  checker=%d events ok" n
+          | None -> "") )
+  in
+  let cells =
+    List.concat_map
+      (fun p -> List.map (cell p) [ true; false ])
+      prims
+  in
+  let jobs = resolve_jobs jobs in
+  Printf.printf "IPC primitive grid, %d-byte argument (%d jobs):\n" bytes jobs;
+  let out = Parallel.run ~jobs (Array.of_list cells) in
+  Array.iter (fun o -> print_string o.Parallel.o_value) out;
+  flush stdout
+
+let run_ipc primitive same_cpu bytes inject_seed check all jobs =
+  if all then run_ipc_all bytes inject_seed check jobs
+  else begin
+    let inject = mk_inject inject_seed in
+    let tr, chk = mk_checker check in
+    let r = M.run ~bytes ?trace:tr ?inject ~same_cpu primitive in
+    (* The L4 server's final reply_and_wait parks it forever by design:
+       skip the quiescence assertion for that primitive only. *)
+    finish_checker ~quiescent:(primitive <> M.L4) ~expect:r.M.lifetime tr chk;
+    Printf.printf "%s (%s), %d-byte argument:\n" (M.primitive_name primitive)
+      (if same_cpu then "=CPU" else "!=CPU")
+      bytes;
+    Printf.printf "  %.1f ns per synchronous round trip\n" r.M.mean_ns;
+    report_inject inject;
+    (match tr with
+    | Some tr -> Printf.printf "  replay digest %s\n" (Trace.digest_hex tr)
+    | None -> ());
+    Array.iteri
+      (fun i bd ->
+        if Dipc_sim.Breakdown.total bd > 1. then
+          Fmt.pr "  CPU %d: %a@." (i + 1) Dipc_sim.Breakdown.pp bd)
+      r.M.per_cpu
+  end
 
 let ipc_cmd =
   let primitive =
@@ -157,39 +224,87 @@ let ipc_cmd =
     Arg.(value & flag & info [ "same-cpu" ] ~doc:"pin both sides to one CPU")
   in
   let bytes = Arg.(value & opt int 1 & info [ "bytes" ] ~doc:"argument size") in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"run every primitive in both placements (honours $(b,--jobs))")
+  in
   Cmd.v
     (Cmd.info "ipc" ~doc:"measure a baseline IPC primitive on the kernel model")
-    Term.(const run_ipc $ primitive $ same_cpu $ bytes $ inject_arg $ check_arg)
+    Term.(
+      const run_ipc $ primitive $ same_cpu $ bytes $ inject_arg $ check_arg
+      $ all $ jobs_arg)
 
 (* --- oltp: one macro-benchmark cell --- *)
 
-let run_oltp config threads on_disk inject_seed check =
-  let config =
-    match config with
-    | "linux" -> O.Linux
-    | "dipc" -> O.Dipc
-    | "ideal" -> O.Ideal
-    | s -> failwith ("unknown config " ^ s)
-  in
+(* All three configurations as independent runner tasks (the Figure 8
+   column at one thread count). *)
+let run_oltp_sweep threads on_disk inject_seed check jobs =
   let db_mode = if on_disk then O.On_disk else O.In_memory in
-  let inject = mk_inject inject_seed in
-  let tr, chk = mk_checker check in
-  let r = O.run ?trace:tr ?inject ~config ~db_mode ~threads () in
-  (* OLTP stops at a deadline with workers still parked: structural
-     invariants only, no quiescence. *)
-  finish_checker ~quiescent:false tr chk;
-  Printf.printf "%s, %d threads/component, %s DB:\n" (O.config_name config)
-    threads
-    (if on_disk then "on-disk" else "in-memory");
-  report_inject inject;
-  (match tr with
-  | Some tr -> Printf.printf "  replay digest %s\n" (Trace.digest_hex tr)
-  | None -> ());
-  Printf.printf "  throughput %.0f ops/min, latency %.2f ms\n" r.O.r_throughput_opm
-    (r.O.r_latency_ns.Stats.s_mean /. 1e6);
-  Printf.printf "  user %.1f%%  kernel %.1f%%  idle %.1f%%\n"
-    (100. *. r.O.r_user_frac) (100. *. r.O.r_kernel_frac)
-    (100. *. r.O.r_idle_frac)
+  let cell config =
+    ( O.config_name config,
+      fun () ->
+        let inject = mk_inject inject_seed in
+        let tr, chk = mk_checker check in
+        let r = O.run ?trace:tr ?inject ~config ~db_mode ~threads () in
+        let seen = finish_checker_silent ~quiescent:false tr chk in
+        Printf.sprintf
+          "  %-6s tput=%8.0f opm  lat=%6.2f ms  user/kern/idle = \
+           %4.1f/%4.1f/%4.1f%%%s%s\n"
+          (O.config_name config) r.O.r_throughput_opm
+          (r.O.r_latency_ns.Stats.s_mean /. 1e6)
+          (100. *. r.O.r_user_frac)
+          (100. *. r.O.r_kernel_frac)
+          (100. *. r.O.r_idle_frac)
+          (match tr with
+          | Some tr -> "  digest=" ^ Trace.digest_hex tr
+          | None -> "")
+          (match seen with
+          | Some n -> Printf.sprintf "  checker=%d events ok" n
+          | None -> "") )
+  in
+  let jobs = resolve_jobs jobs in
+  Printf.printf "OLTP sweep, %d threads/component, %s DB (%d jobs):\n" threads
+    (if on_disk then "on-disk" else "in-memory")
+    jobs;
+  let out =
+    Parallel.run ~jobs (Array.of_list (List.map cell [ O.Linux; O.Dipc; O.Ideal ]))
+  in
+  Array.iter (fun o -> print_string o.Parallel.o_value) out;
+  flush stdout
+
+let run_oltp config threads on_disk inject_seed check sweep jobs =
+  if sweep then run_oltp_sweep threads on_disk inject_seed check jobs
+  else begin
+    let config =
+      match config with
+      | "linux" -> O.Linux
+      | "dipc" -> O.Dipc
+      | "ideal" -> O.Ideal
+      | s -> failwith ("unknown config " ^ s)
+    in
+    let db_mode = if on_disk then O.On_disk else O.In_memory in
+    let inject = mk_inject inject_seed in
+    let tr, chk = mk_checker check in
+    let r = O.run ?trace:tr ?inject ~config ~db_mode ~threads () in
+    (* OLTP stops at a deadline with workers still parked: structural
+       invariants only, no quiescence. *)
+    finish_checker ~quiescent:false tr chk;
+    Printf.printf "%s, %d threads/component, %s DB:\n" (O.config_name config)
+      threads
+      (if on_disk then "on-disk" else "in-memory");
+    report_inject inject;
+    (match tr with
+    | Some tr -> Printf.printf "  replay digest %s\n" (Trace.digest_hex tr)
+    | None -> ());
+    Printf.printf "  throughput %.0f ops/min, latency %.2f ms\n"
+      r.O.r_throughput_opm
+      (r.O.r_latency_ns.Stats.s_mean /. 1e6);
+    Printf.printf "  user %.1f%%  kernel %.1f%%  idle %.1f%%\n"
+      (100. *. r.O.r_user_frac) (100. *. r.O.r_kernel_frac)
+      (100. *. r.O.r_idle_frac)
+  end
 
 let oltp_cmd =
   let config =
@@ -197,9 +312,17 @@ let oltp_cmd =
   in
   let threads = Arg.(value & opt int 16 & info [ "threads" ] ~doc:"per component") in
   let on_disk = Arg.(value & flag & info [ "on-disk" ] ~doc:"on-disk database") in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"run all three configurations (honours $(b,--jobs))")
+  in
   Cmd.v
     (Cmd.info "oltp" ~doc:"run one cell of the Figure 8 macro-benchmark")
-    Term.(const run_oltp $ config $ threads $ on_disk $ inject_arg $ check_arg)
+    Term.(
+      const run_oltp $ config $ threads $ on_disk $ inject_arg $ check_arg
+      $ sweep $ jobs_arg)
 
 (* --- trace: export a Chrome trace of a microbench run --- *)
 
@@ -240,6 +363,41 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"run a microbench under event tracing and export Chrome trace JSON")
     Term.(const run_trace $ primitive $ same_cpu $ bytes $ iters $ out)
+
+(* --- bench: the fixed-seed suite / fault matrix, sharded --- *)
+
+let run_bench out matrix check inject_seed jobs =
+  let jobs = resolve_jobs jobs in
+  if matrix then begin
+    let runs, faults =
+      Suite.fault_matrix ~verbose:true ?seed:inject_seed ~jobs ()
+    in
+    Printf.printf "fault matrix: %d runs checked, %d faults injected\n%!" runs
+      faults
+  end
+  else Suite.bench_json ~check ?inject_seed ~jobs out
+
+let bench_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_fixed_seed.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"JSON report path")
+  in
+  let matrix =
+    Arg.(
+      value & flag
+      & info [ "matrix" ]
+          ~doc:
+            "run the fault-injection matrix (every primitive and the \
+             OLTP/netpipe workloads) instead of the digest suite")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "run the fixed-seed benchmark suite (or fault matrix), sharded over \
+          --jobs domains; digests are identical at any job count")
+    Term.(const run_bench $ out $ matrix $ check_arg $ inject_arg $ jobs_arg)
 
 (* --- disasm: show the generated proxy for a configuration --- *)
 
@@ -283,4 +441,6 @@ let () =
       ~doc:"direct inter-process communication on a simulated CODOMs machine"
   in
   exit
-    (Cmd.eval (Cmd.group info [ call_cmd; ipc_cmd; oltp_cmd; disasm_cmd; trace_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ call_cmd; ipc_cmd; oltp_cmd; bench_cmd; disasm_cmd; trace_cmd ]))

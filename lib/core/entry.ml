@@ -38,10 +38,11 @@ type proxy_set = {
   ps_proxies : proxy_handle array;
 }
 
-(* One template cache per system would be natural; a global one matches
-   the paper's build-time template generation and lets the bench report
-   aggregate template statistics. *)
-let template_cache = Proxy.cache_create ()
+(* The template cache lives on the system ([System.t.proxy_cache]): a
+   module-level global here would be shared mutable state between
+   concurrent runner domains.  Experiments that want the paper's
+   build-time template sharing pass one cache to several systems via
+   [System.create ?proxy_cache] (single-domain use only). *)
 
 let entry_register t ~dom (entries : entry_desc array) =
   if not (Perm.equal dom.System.dom_perm Perm.Owner) then
@@ -130,7 +131,7 @@ let entry_request t ~caller ~caller_dom ~(entry : entry_handle)
           }
         in
         let g =
-          Proxy.generate template_cache
+          Proxy.generate t.System.proxy_cache
             ~mem:t.System.machine.System.Machine.mem
             ~base:(Layout.align_up !cursor Layout.entry_align)
             ~target_addr:desc.e_addr ~target_tag:entry.eh_tag config

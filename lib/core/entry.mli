@@ -25,9 +25,6 @@ type proxy_set = {
   ps_proxies : proxy_handle array;
 }
 
-(** Shared proxy template cache (build-time templates in the paper). *)
-val template_cache : Proxy.cache
-
 (** Table 2 entry_register: publish an array of entry points of an owned
     domain; every address must reside in it. *)
 val entry_register : System.t -> dom:System.domain_handle -> entry_desc array -> entry_handle

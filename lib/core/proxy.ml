@@ -43,7 +43,9 @@ type config = {
   tls_switch : bool;
 }
 
-type key = {
+(* The key itself lives in [Proxy_cache] (so [System] can own a cache
+   per system without a dependency cycle). *)
+type key = Proxy_cache.key = {
   k_stack_words : int;
   k_cap_args : int;
   k_cap_rets : int;
@@ -343,18 +345,13 @@ type generated = {
   g_config : config;
 }
 
-type cache = {
-  mutable templates : (key, int) Hashtbl.t; (* key -> times instantiated *)
-  mutable generated_count : int;
-  mutable generated_bytes : int;
-}
+type cache = Proxy_cache.t
 
-let cache_create () =
-  { templates = Hashtbl.create 64; generated_count = 0; generated_bytes = 0 }
+let cache_create = Proxy_cache.create
 
-let template_count cache = Hashtbl.length cache.templates
+let template_count = Proxy_cache.template_count
 
-let stats cache = (cache.generated_count, cache.generated_bytes)
+let stats = Proxy_cache.stats
 
 (* Generate and place a proxy for [config] at [base] (page-aligned space
    must already be mapped, executable + privileged, in the proxy domain).
@@ -368,12 +365,7 @@ let generate cache ~mem ~base ~target_addr ~target_tag config =
   List.iter
     (fun (addr, i) -> ignore (Dipc_hw.Memory.place_code mem ~addr [ i ]))
     code;
-  let key = key_of config in
-  (match Hashtbl.find_opt cache.templates key with
-  | Some n -> Hashtbl.replace cache.templates key (n + 1)
-  | None -> Hashtbl.replace cache.templates key 1);
-  cache.generated_count <- cache.generated_count + 1;
-  cache.generated_bytes <- cache.generated_bytes + (last - base);
+  Proxy_cache.record cache (key_of config) ~bytes:(last - base);
   {
     g_entry = Asm.target entry_l;
     g_ret = Asm.target ret_l;

@@ -21,7 +21,7 @@ type generated = {
   g_config : config;
 }
 
-type cache
+type cache = Proxy_cache.t
 
 val cache_create : unit -> cache
 

@@ -1,0 +1,37 @@
+(* Proxy template-specialisation cache, extracted from [Proxy] so
+   [System] can own one per system: [Proxy] depends on [System] for ABI
+   constants, so the cache type must live below both.
+
+   One cache per [System.create] is the domain-safety default (the
+   parallel runner gives every run its own system, so two domains never
+   alias a cache); single-domain experiments that want the paper's
+   build-time template sharing pass one cache to several systems. *)
+
+type key = {
+  k_stack_words : int;
+  k_cap_args : int;
+  k_cap_rets : int;
+  k_props : int; (* bitmask *)
+  k_cross : bool;
+  k_tls : bool;
+}
+
+type t = {
+  templates : (key, int) Hashtbl.t; (* key -> times instantiated *)
+  mutable generated_count : int;
+  mutable generated_bytes : int;
+}
+
+let create () =
+  { templates = Hashtbl.create 64; generated_count = 0; generated_bytes = 0 }
+
+let template_count cache = Hashtbl.length cache.templates
+
+let stats cache = (cache.generated_count, cache.generated_bytes)
+
+let record cache key ~bytes =
+  (match Hashtbl.find_opt cache.templates key with
+  | Some n -> Hashtbl.replace cache.templates key (n + 1)
+  | None -> Hashtbl.replace cache.templates key 1);
+  cache.generated_count <- cache.generated_count + 1;
+  cache.generated_bytes <- cache.generated_bytes + bytes

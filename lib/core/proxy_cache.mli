@@ -1,0 +1,27 @@
+(** Proxy template-specialisation cache (see [Proxy], which memoises
+    generated proxies by specialisation key through one of these).
+    Extracted below [System] so each system can own a private cache —
+    the domain-safety default for the parallel runner — while
+    single-domain experiments may still share one across systems. *)
+
+type key = {
+  k_stack_words : int;
+  k_cap_args : int;
+  k_cap_rets : int;
+  k_props : int;  (** isolation-property bitmask *)
+  k_cross : bool;
+  k_tls : bool;
+}
+
+type t
+
+val create : unit -> t
+
+(** Distinct specialisation keys instantiated so far. *)
+val template_count : t -> int
+
+(** (proxies generated, total bytes generated). *)
+val stats : t -> int * int
+
+(** Count one instantiation of [key] totalling [bytes]. *)
+val record : t -> key -> bytes:int -> unit

@@ -25,8 +25,9 @@ let default_fn = [ Isa.Add (0, 0, 1); Isa.Ret ]
 
 let make ?(same_process = false) ?(tls_optimized = false)
     ?(caller_props = Types.props_low) ?(callee_props = Types.props_low)
-    ?(sig_ = Types.signature ~args:2 ~rets:1 ()) ?(fn = default_fn) () =
-  let sys = System.create () in
+    ?(sig_ = Types.signature ~args:2 ~rets:1 ()) ?(fn = default_fn)
+    ?proxy_cache () =
+  let sys = System.create ?proxy_cache () in
   sys.System.tls_optimized <- tls_optimized;
   let resolver = Resolver.create () in
   let callee = System.create_process sys ~name:"callee" in

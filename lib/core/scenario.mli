@@ -23,6 +23,7 @@ val make :
   ?callee_props:Types.props ->
   ?sig_:Types.signature ->
   ?fn:Dipc_hw.Isa.instr list ->
+  ?proxy_cache:Proxy_cache.t ->
   unit ->
   t
 

@@ -82,6 +82,10 @@ type t = {
   mutable tls_optimized : bool; (* Sec. 6.1.2 TLS-mode optimization *)
   mutable resolve_warm : int;
   mutable resolve_cold : int;
+  proxy_cache : Proxy_cache.t;
+      (* Per-system by default so two runner domains never alias one
+         cache; experiments that want the paper's build-time sharing pass
+         one cache to several systems on a single domain. *)
 }
 
 (* --- kernel memory --- *)
@@ -116,7 +120,7 @@ let handle_syscall_ref :
     (t -> Machine.ctx -> int -> unit) ref =
   ref (fun _ _ _ -> ())
 
-let create () =
+let create ?proxy_cache () =
   let machine = Machine.create () in
   let apl = machine.Machine.apl in
   let kernel_tag = Apl.fresh_tag apl in
@@ -157,6 +161,10 @@ let create () =
       tls_optimized = false;
       resolve_warm = 0;
       resolve_cold = 0;
+      proxy_cache =
+        (match proxy_cache with
+        | Some c -> c
+        | None -> Proxy_cache.create ());
     }
   in
   Machine.set_syscall_handler machine (fun ctx n -> !handle_syscall_ref t ctx n);

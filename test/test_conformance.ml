@@ -200,13 +200,21 @@ let corpus =
   ]
 
 let test_corpus () =
-  List.iter
-    (fun (scenario, name, exp_cheri, exp_mmp, exp_codoms) ->
-      Alcotest.check outcome (name ^ " on CHERI") exp_cheri (cheri_run scenario);
-      Alcotest.check outcome (name ^ " on MMP") exp_mmp (mmp_run scenario);
-      Alcotest.check outcome (name ^ " on CODOMs") exp_codoms
-        (codoms_run scenario))
-    corpus
+  (* Each scenario builds its own machine models, so the corpus shards
+     cleanly across domains; assertions run post-merge on the main
+     domain (Alcotest.check is not domain-safe mid-flight). *)
+  let observed =
+    Dipc_sim.Parallel.map
+      (fun (scenario, _, _, _, _) ->
+        (cheri_run scenario, mmp_run scenario, codoms_run scenario))
+      corpus
+  in
+  List.iter2
+    (fun (_, name, exp_cheri, exp_mmp, exp_codoms) (got_c, got_m, got_d) ->
+      Alcotest.check outcome (name ^ " on CHERI") exp_cheri got_c;
+      Alcotest.check outcome (name ^ " on MMP") exp_mmp got_m;
+      Alcotest.check outcome (name ^ " on CODOMs") exp_codoms got_d)
+    corpus observed
 
 let test_models_agree_except_documented () =
   (* The corpus disagreements are exactly the documented deviations. *)

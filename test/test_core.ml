@@ -315,12 +315,20 @@ let test_nested_calls_high_isolation () =
 (* --- proxy templates --- *)
 
 let test_template_cache_grows_by_specialisation () =
-  let before = Proxy.template_count Entry.template_cache in
+  (* A cache explicitly shared by two systems (the paper's build-time
+     sharing; per-system private caches are the domain-safe default). *)
+  let cache = Dipc_core.Proxy_cache.create () in
   (* Two different signatures must create two specialisations. *)
-  ignore (Scenario.make ~sig_:(Types.signature ~args:1 ~rets:1 ()) ());
-  ignore (Scenario.make ~sig_:(Types.signature ~args:1 ~rets:1 ~cap_args:2 ()) ());
-  let after = Proxy.template_count Entry.template_cache in
-  Alcotest.(check bool) "at least one new template" true (after > before)
+  ignore
+    (Scenario.make ~sig_:(Types.signature ~args:1 ~rets:1 ()) ~proxy_cache:cache ());
+  let mid = Proxy.template_count cache in
+  ignore
+    (Scenario.make
+       ~sig_:(Types.signature ~args:1 ~rets:1 ~cap_args:2 ())
+       ~proxy_cache:cache ());
+  let after = Proxy.template_count cache in
+  Alcotest.(check bool) "first scenario instantiates a template" true (mid > 0);
+  Alcotest.(check bool) "new signature, new specialisation" true (after > mid)
 
 let test_lean_vs_full_template () =
   Alcotest.(check bool) "same-process low is lean" true

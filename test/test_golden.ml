@@ -2,55 +2,20 @@
    shared suite library and pin every replay digest against the
    committed bench/BENCH_baseline.json.  Any unintended change to the
    event timeline — engine, kernel, IPC layer, workloads — shows up
-   here as a digest mismatch naming the experiment that moved. *)
+   here as a digest mismatch naming the experiment that moved.
+
+   Parsing lives in bench/golden.ml, shared with the CI comparator
+   (bench/check_golden.ml) and the parallel differential tests. *)
 
 module Suite = Dipc_bench_suite.Suite
+module Golden = Dipc_bench_suite.Golden
+module Parallel = Dipc_sim.Parallel
 
 (* The dune rule copies the baseline next to the test binary. *)
 let baseline_path = "../bench/BENCH_baseline.json"
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-(* Naive scanner for the flat one-experiment-per-line JSON we emit:
-   pull every ("name", "digest") string pair out of the experiments
-   array, in order.  Digest values may contain spaces (the raw-state
-   summaries of the machine/engine experiments), so capture runs to
-   the closing quote. *)
-let parse_baseline text =
-  let quoted_after key from =
-    match
-      let rec find i =
-        if i + String.length key > String.length text then None
-        else if String.sub text i (String.length key) = key then Some i
-        else find (i + 1)
-      in
-      find from
-    with
-    | None -> None
-    | Some i -> (
-        let start = i + String.length key in
-        match String.index_from_opt text start '"' with
-        | None -> None
-        | Some stop -> Some (String.sub text start (stop - start), stop))
-  in
-  let rec collect acc from =
-    match quoted_after {|"name": "|} from with
-    | None -> List.rev acc
-    | Some (name, after_name) -> (
-        match quoted_after {|"digest": "|} after_name with
-        | None -> List.rev acc
-        | Some (digest, after_digest) ->
-            collect ((name, digest) :: acc) after_digest)
-  in
-  collect [] 0
-
 let test_baseline_parses () =
-  let pins = parse_baseline (read_file baseline_path) in
+  let pins = Golden.parse_file baseline_path in
   Alcotest.(check int) "13 pinned experiments" 13 (List.length pins);
   List.iter
     (fun (name, digest) ->
@@ -60,9 +25,13 @@ let test_baseline_parses () =
         (String.length digest > 0))
     pins
 
+(* The heavyweight corpus rerun goes through the work-queue runner: the
+   digests are pinned against the serial baseline, so this doubles as a
+   serial==parallel proof on multi-core machines while cutting the
+   runtest critical path. *)
 let test_digests_match_baseline () =
-  let pins = parse_baseline (read_file baseline_path) in
-  let results = Suite.bench_suite () in
+  let pins = Golden.parse_file baseline_path in
+  let results = Suite.bench_suite ~jobs:(Parallel.default_jobs ()) () in
   Alcotest.(check int) "suite covers the pinned corpus" (List.length pins)
     (List.length results);
   List.iter2

@@ -11,6 +11,7 @@
 module Engine = Dipc_sim.Engine
 module Trace = Dipc_sim.Trace
 module Inject = Dipc_sim.Inject
+module Parallel = Dipc_sim.Parallel
 module Checker = Dipc_sim.Checker
 module Breakdown = Dipc_sim.Breakdown
 module Kernel = Dipc_kernel.Kernel
@@ -171,23 +172,37 @@ let test_injection_perturbs_timeline () =
 
 let test_aggressive_matrix_passes_checker () =
   (* Both schedules, every primitive, both placements — invariants hold
-     under fire. *)
-  List.iter
-    (fun config ->
-      List.iter
-        (fun (prim, name, quiescent) ->
-          List.iter
-            (fun same_cpu ->
-              let _, r, _ =
-                injected_digest ~config ~seed:11 ~same_cpu
-                  (prim, name, quiescent)
-              in
-              Alcotest.(check bool)
-                (name ^ " still measures round trips")
-                true (r.M.mean_ns > 0.))
-            [ true; false ])
-        primitives)
-    [ Inject.default_config; Inject.aggressive_config ]
+     under fire.  The 20 independent cells go through the work-queue
+     runner (checker violations surface as exceptions on the main
+     domain); assertions run post-merge. *)
+  let cells =
+    List.concat_map
+      (fun config ->
+        List.concat_map
+          (fun (prim, name, quiescent) ->
+            List.map
+              (fun same_cpu ->
+                ( name,
+                  fun () ->
+                    let _, r, _ =
+                      injected_digest ~config ~seed:11 ~same_cpu
+                        (prim, name, quiescent)
+                    in
+                    (name, r.M.mean_ns) ))
+              [ true; false ])
+          primitives)
+      [ Inject.default_config; Inject.aggressive_config ]
+  in
+  let out =
+    Parallel.run ~jobs:(Parallel.default_jobs ()) (Array.of_list cells)
+  in
+  Array.iter
+    (fun o ->
+      let name, mean_ns = o.Parallel.o_value in
+      Alcotest.(check bool)
+        (name ^ " still measures round trips")
+        true (mean_ns > 0.))
+    out
 
 let test_fault_stats_accounted () =
   let _, _, inj =

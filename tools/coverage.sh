@@ -1,0 +1,59 @@
+#!/bin/sh
+# Line coverage of the simulation substrate (lib/sim + lib/hw) via
+# bisect_ppx, ratcheted against COVERAGE_baseline.txt.
+#
+#   tools/coverage.sh            run tests instrumented, report, ratchet
+#
+# The dune (instrumentation (backend bisect_ppx)) stanzas are inert
+# unless --instrument-with is passed, so regular builds never need
+# bisect_ppx installed; this script degrades to a skip when the tools
+# are absent (e.g. on the pinned local container, which has no
+# bisect_ppx — CI installs it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v bisect-ppx-report >/dev/null 2>&1; then
+  echo "coverage: bisect-ppx-report not installed; skipping (CI installs it)"
+  exit 0
+fi
+
+rm -rf _coverage
+mkdir -p _coverage
+
+# Instrumented test run: every .coverage file lands in _coverage/.
+BISECT_FILE="$(pwd)/_coverage/bisect" \
+  dune runtest --force --instrument-with bisect_ppx
+
+# Per-file summary, restricted to the substrate the ratchet covers.
+bisect-ppx-report summary --per-file _coverage/bisect*.coverage \
+  | grep -E 'lib/(sim|hw)/' | tee _coverage/per_file.txt
+
+# Aggregate percentage over lib/sim + lib/hw only (the per-file lines
+# read " NN.NN %   lib/sim/engine.ml"): recompute from covered/total
+# counts so the aggregate is line-weighted, not file-weighted.
+bisect-ppx-report html -o _coverage/html _coverage/bisect*.coverage || true
+
+actual=$(bisect-ppx-report summary --per-file _coverage/bisect*.coverage \
+  | awk '/lib\/(sim|hw)\// {
+      if (match($0, /[0-9]+\/[0-9]+/)) {
+        split(substr($0, RSTART, RLENGTH), f, "/");
+        cov += f[1]; tot += f[2];
+      }
+    }
+    END { if (tot > 0) printf "%.2f", 100 * cov / tot; else print "0" }')
+
+floor=$(grep -E '^floor_pct:' COVERAGE_baseline.txt | awk '{print $2}')
+
+echo "lib/sim + lib/hw line coverage: ${actual}% (ratchet floor: ${floor}%)"
+
+if awk "BEGIN { exit !($actual < $floor) }"; then
+  echo "coverage REGRESSED below the ratchet floor (${actual}% < ${floor}%)" >&2
+  echo "either restore coverage or consciously lower the floor in COVERAGE_baseline.txt" >&2
+  exit 1
+fi
+
+# Ratchet hint: if actual comfortably exceeds the floor, suggest raising it.
+if awk "BEGIN { exit !($actual > $floor + 5) }"; then
+  echo "note: coverage is ${actual}%, >5 points above the floor — consider raising COVERAGE_baseline.txt"
+fi
