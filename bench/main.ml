@@ -20,7 +20,10 @@
                         byte-identical injected digest)
      --jobs N           shard independent runs over N domains (0 = one per
                         recommended core); digests and printed results are
-                        identical at any N *)
+                        identical at any N
+     --no-block-cache   force the reference interpreter (disable the
+                        machine's translated-block dispatch); results and
+                        digests are identical either way — triage only *)
 
 module Suite = Dipc_bench_suite.Suite
 module Parallel = Dipc_sim.Parallel
@@ -30,6 +33,9 @@ let () =
   let rec extract check inject jobs acc = function
     | [] -> (check, inject, jobs, List.rev acc)
     | "--check" :: rest -> extract true inject jobs acc rest
+    | "--no-block-cache" :: rest ->
+        Dipc_hw.Machine.set_default_block_cache false;
+        extract check inject jobs acc rest
     | [ "--inject" ] ->
         Printf.eprintf "--inject needs an integer seed\n";
         exit 2

@@ -76,6 +76,20 @@ let jobs_arg =
 
 let resolve_jobs n = if n = 0 then Parallel.default_jobs () else n
 
+let no_block_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-block-cache" ]
+        ~doc:
+          "force the reference interpreter: disable the machine's \
+           translated-block dispatch.  Results and digests are identical \
+           either way; this is a triage escape hatch")
+
+(* Machines are created inside the workloads, so the escape hatch flips
+   the process-wide creation default before any run starts. *)
+let apply_block_cache no_bc =
+  if no_bc then Dipc_hw.Machine.set_default_block_cache false
+
 (* One injector per run from the CLI seed; [None] leaves every hook a
    no-op. *)
 let mk_inject = Option.map (fun seed -> Inject.create ~seed ())
@@ -189,7 +203,8 @@ let run_ipc_all bytes inject_seed check jobs =
   Array.iter (fun o -> print_string o.Parallel.o_value) out;
   flush stdout
 
-let run_ipc primitive same_cpu bytes inject_seed check all jobs =
+let run_ipc primitive same_cpu bytes inject_seed check all jobs no_bc =
+  apply_block_cache no_bc;
   if all then run_ipc_all bytes inject_seed check jobs
   else begin
     let inject = mk_inject inject_seed in
@@ -234,7 +249,7 @@ let ipc_cmd =
     (Cmd.info "ipc" ~doc:"measure a baseline IPC primitive on the kernel model")
     Term.(
       const run_ipc $ primitive $ same_cpu $ bytes $ inject_arg $ check_arg
-      $ all $ jobs_arg)
+      $ all $ jobs_arg $ no_block_cache_arg)
 
 (* --- oltp: one macro-benchmark cell --- *)
 
@@ -274,7 +289,8 @@ let run_oltp_sweep threads on_disk inject_seed check jobs =
   Array.iter (fun o -> print_string o.Parallel.o_value) out;
   flush stdout
 
-let run_oltp config threads on_disk inject_seed check sweep jobs =
+let run_oltp config threads on_disk inject_seed check sweep jobs no_bc =
+  apply_block_cache no_bc;
   if sweep then run_oltp_sweep threads on_disk inject_seed check jobs
   else begin
     let config =
@@ -322,11 +338,12 @@ let oltp_cmd =
     (Cmd.info "oltp" ~doc:"run one cell of the Figure 8 macro-benchmark")
     Term.(
       const run_oltp $ config $ threads $ on_disk $ inject_arg $ check_arg
-      $ sweep $ jobs_arg)
+      $ sweep $ jobs_arg $ no_block_cache_arg)
 
 (* --- trace: export a Chrome trace of a microbench run --- *)
 
-let run_trace primitive same_cpu bytes iters out =
+let run_trace primitive same_cpu bytes iters out no_bc =
+  apply_block_cache no_bc;
   let tr = Trace.create () in
   let r = M.run ~bytes ~iters ~trace:tr ~same_cpu primitive in
   let oc = open_out out in
@@ -362,11 +379,14 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"run a microbench under event tracing and export Chrome trace JSON")
-    Term.(const run_trace $ primitive $ same_cpu $ bytes $ iters $ out)
+    Term.(
+      const run_trace $ primitive $ same_cpu $ bytes $ iters $ out
+      $ no_block_cache_arg)
 
 (* --- bench: the fixed-seed suite / fault matrix, sharded --- *)
 
-let run_bench out matrix check inject_seed jobs =
+let run_bench out matrix check inject_seed jobs no_bc =
+  apply_block_cache no_bc;
   let jobs = resolve_jobs jobs in
   if matrix then begin
     let runs, faults =
@@ -397,7 +417,9 @@ let bench_cmd =
        ~doc:
          "run the fixed-seed benchmark suite (or fault matrix), sharded over \
           --jobs domains; digests are identical at any job count")
-    Term.(const run_bench $ out $ matrix $ check_arg $ inject_arg $ jobs_arg)
+    Term.(
+      const run_bench $ out $ matrix $ check_arg $ inject_arg $ jobs_arg
+      $ no_block_cache_arg)
 
 (* --- disasm: show the generated proxy for a configuration --- *)
 

@@ -29,6 +29,7 @@ type t = {
   entries : entry array; (* index = hardware domain tag *)
   index : (int, int) Hashtbl.t; (* tag -> smallest slot holding it *)
   mutable clock : int;
+  mutable generation : int; (* bumped on every [reset] (flush) *)
   mutable hits : int;
   mutable misses : int;
   mutable refills : int;
@@ -39,6 +40,7 @@ let create () =
     entries = Array.init capacity (fun _ -> { tag = -1; last_use = 0 });
     index = Hashtbl.create capacity;
     clock = 0;
+    generation = 0;
     hits = 0;
     misses = 0;
     refills = 0;
@@ -52,6 +54,7 @@ let reset t =
     t.entries;
   Hashtbl.reset t.index;
   t.clock <- 0;
+  t.generation <- t.generation + 1;
   (* Statistics must not bleed across scenario runs that reuse a machine. *)
   t.hits <- 0;
   t.misses <- 0;
@@ -117,6 +120,8 @@ let ensure t tag =
   match lookup t tag with Some hw -> (hw, true) | None -> (install t tag, false)
 
 let stats t = (t.hits, t.misses, t.refills)
+
+let generation t = t.generation
 
 let resident_tags t =
   Array.to_list t.entries |> List.filter_map (fun e -> if e.tag >= 0 then Some e.tag else None)

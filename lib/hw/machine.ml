@@ -18,6 +18,34 @@ module Trace = Dipc_sim.Trace
 
 let apl_cache_refill_cost = 250.0 (* exception + software cache refill *)
 
+(* A translated basic block: the straight-line instructions starting at
+   [b_pc] (same page, stopping before the first branch/call/ret/syscall/
+   trap/halt, the page boundary, or an unfetchable slot), decoded once
+   with their costs pre-resolved.  [b_len = 0] means the first instruction
+   is itself a terminator (or unfetchable): dispatch falls back to the
+   reference stepper for that one instruction.
+
+   Validity is guarded by generation counters snapshotted at translation
+   time: the code store ([Memory.place_code] would overwrite decoded
+   instructions), the page table (map/unmap could change what the pc
+   region means), the APL and the per-thread APL cache (mutation/flush —
+   conservative: the block body itself consults APL state live, but
+   over-invalidation merely retranslates identical code and is always
+   safe).  Key fields [b_tag]/[b_priv] pin the domain view the block was
+   translated under. *)
+type block = {
+  b_pc : int;
+  b_tag : int;
+  b_priv : bool;
+  b_len : int;
+  b_instrs : Isa.instr array;
+  b_costs : float array;
+  b_code_gen : int;
+  b_pt_gen : int;
+  b_apl_gen : int;
+  b_aplc_gen : int;
+}
+
 type ctx = {
   id : int;
   regs : int array;
@@ -37,6 +65,9 @@ type ctx = {
   breakdown : Breakdown.t;
   apl_cache : Apl_cache.t;
   mutable halted : bool;
+  blocks : (int, block) Hashtbl.t;
+      (* translated-block cache, keyed by starting pc; per-context so the
+         APL-cache flush guard tracks *this* thread's cache *)
 }
 
 type t = {
@@ -55,9 +86,22 @@ type t = {
   mutable inject : Dipc_sim.Inject.t option;
       (* Fault injector consulted at domain crossings; [None] keeps the
          crossing path exactly as-is. *)
+  mutable block_cache : bool;
+      (* [run] dispatches through translated blocks when true (and the
+         tracer is off and no injector is installed); false forces the
+         reference stepper throughout — the --no-block-cache triage
+         escape hatch. *)
 }
 
 exception Out_of_fuel
+
+(* Process-wide default for [t.block_cache], sampled by [create]:
+   experiment code builds machines internally, so the CLI escape hatch
+   flips this before any machine exists.  Atomic because the PR 4 runner
+   creates machines from several domains. *)
+let default_block_cache = Atomic.make true
+
+let set_default_block_cache v = Atomic.set default_block_cache v
 
 (* Never returned: [tlb_page] starts at -1, which no address maps to. *)
 let tlb_dummy : Page_table.page =
@@ -85,7 +129,10 @@ let create () =
     tlb_gen = -1;
     tlb_entry = tlb_dummy;
     inject = None;
+    block_cache = Atomic.get default_block_cache;
   }
+
+let set_block_cache m v = m.block_cache <- v
 
 (* Page-table lookup through the one-entry translation cache: straight-line
    fetch/load/store into a warm page skips the page-table Hashtbl.  Entries
@@ -135,6 +182,7 @@ let new_ctx ?(dcs_capacity = Dcs.default_capacity) m ~pc ~sp_value =
     breakdown = Breakdown.create ();
     apl_cache = Apl_cache.create ();
     halted = false;
+    blocks = Hashtbl.create 64;
   }
 
 let charge m ctx ns =
@@ -354,19 +402,11 @@ let derive_from_apl m ctx ~pc ~base ~len ~perm =
 
 let word = Layout.word_size
 
-let step_unlogged m ctx =
-  if ctx.halted then `Halted
-  else begin
-    let pc = ctx.pc in
-    if Layout.page_of pc <> ctx.cur_page then check_transfer m ctx pc;
-    let instr =
-      match Memory.fetch m.mem pc with
-      | Some i -> i
-      | None -> Fault.raise_fault ~pc Fault.Bad_instruction
-    in
-    ctx.instret <- ctx.instret + 1;
-    charge m ctx (Isa.cost instr);
-    let next = pc + Isa.instr_bytes in
+(* Execute the body of one already-fetched, already-charged instruction.
+   Shared by the reference stepper and the translated-block path; [pc] is
+   the instruction's own address (= [ctx.pc] on entry) and [next] its
+   fall-through successor. *)
+let exec_instr m ctx instr ~pc ~next =
     (match instr with
     | Isa.Nop -> ctx.pc <- next
     | Isa.Halt -> ctx.halted <- true
@@ -569,7 +609,21 @@ let step_unlogged m ctx =
                 ~arg:(Dcs.depth ctx.dcs) Trace.Dcs_adjust;
             ctx.pc <- next
         | [] -> Fault.raise_fault ~pc (Fault.Dcs_bounds "no saved DCS to restore")
-      end);
+      end)
+
+let step_unlogged m ctx =
+  if ctx.halted then `Halted
+  else begin
+    let pc = ctx.pc in
+    if Layout.page_of pc <> ctx.cur_page then check_transfer m ctx pc;
+    let instr =
+      match Memory.fetch m.mem pc with
+      | Some i -> i
+      | None -> Fault.raise_fault ~pc Fault.Bad_instruction
+    in
+    ctx.instret <- ctx.instret + 1;
+    charge m ctx (Isa.cost instr);
+    exec_instr m ctx instr ~pc ~next:(pc + Isa.instr_bytes);
     if ctx.halted then `Halted else `Running
   end
 
@@ -581,13 +635,135 @@ let step m ctx =
         ~arg:f.Fault.pc Trace.Fault;
     raise exn
 
+(* --- translated-block dispatch --- *)
+
+(* A terminator ends a basic block: anything that can leave the
+   straight-line pc+4 successor chain (or stop execution).  Terminators
+   always execute through the reference stepper. *)
+let is_terminator = function
+  | Isa.Halt | Isa.Trap _ | Isa.Syscall _ | Isa.Jmp _ | Isa.Jmpr _
+  | Isa.Call _ | Isa.Callr _ | Isa.Ret | Isa.Beq _ | Isa.Bne _ | Isa.Blt _
+  | Isa.Bge _ | Isa.Beqz _ | Isa.Bnez _ ->
+      true
+  | _ -> false
+
+(* Decode the maximal straight-line run starting at [pc]: same page,
+   every slot fetchable, no terminators.  Pure reads — [Memory.fetch] is
+   exactly what the reference stepper performs per instruction, so a
+   translated body replays the same decode results. *)
+let translate m ctx pc =
+  let page0 = Layout.page_of pc in
+  let rev = ref [] in
+  let n = ref 0 in
+  let p = ref pc in
+  let stop = ref false in
+  while not !stop do
+    if Layout.page_of !p <> page0 then stop := true
+    else
+      match Memory.fetch m.mem !p with
+      | Some i when not (is_terminator i) ->
+          rev := i :: !rev;
+          incr n;
+          p := !p + Isa.instr_bytes
+      | Some _ | None -> stop := true
+  done;
+  let instrs = Array.of_list (List.rev !rev) in
+  {
+    b_pc = pc;
+    b_tag = ctx.cur_tag;
+    b_priv = ctx.priv;
+    b_len = !n;
+    b_instrs = instrs;
+    b_costs = Array.map Isa.cost instrs;
+    b_code_gen = Memory.code_generation m.mem;
+    b_pt_gen = Page_table.generation m.page_table;
+    b_apl_gen = Apl.generation m.apl;
+    b_aplc_gen = Apl_cache.generation ctx.apl_cache;
+  }
+
+let find_block m ctx pc =
+  match Hashtbl.find_opt ctx.blocks pc with
+  | Some b
+    when b.b_pc = pc && b.b_tag = ctx.cur_tag && b.b_priv = ctx.priv
+         && b.b_code_gen = Memory.code_generation m.mem
+         && b.b_pt_gen = Page_table.generation m.page_table
+         && b.b_apl_gen = Apl.generation m.apl
+         && b.b_aplc_gen = Apl_cache.generation ctx.apl_cache ->
+      b
+  | _ ->
+      let b = translate m ctx pc in
+      Hashtbl.replace ctx.blocks pc b;
+      b
+
+(* The fast path is only observably identical to the reference stepper
+   when nothing watches individual steps: tracing emits per-instruction
+   Charge events (timestamps interleave with crossing events) and an
+   injector perturbs crossings, so either disables block dispatch. *)
+let block_path_ok m =
+  m.block_cache
+  && (not (Trace.enabled m.tracer))
+  && match m.inject with None -> true | Some _ -> false
+
 let run ?(fuel = 10_000_000) m ctx =
   let remaining = ref fuel in
   let running = ref true in
   while !running do
     if !remaining <= 0 then raise Out_of_fuel;
-    decr remaining;
-    match step m ctx with `Halted -> running := false | `Running -> ()
+    if block_path_ok m then
+      if ctx.halted then begin
+        decr remaining;
+        running := false
+      end
+      else begin
+        let pc = ctx.pc in
+        if Layout.page_of pc <> ctx.cur_page then check_transfer m ctx pc;
+        let b = find_block m ctx pc in
+        if b.b_len = 0 then begin
+          (* Terminator or unfetchable slot: one reference step.  The
+             page/transfer check above already ran, so [step_unlogged]
+             will not repeat it. *)
+          decr remaining;
+          match step_unlogged m ctx with
+          | `Halted -> running := false
+          | `Running -> ()
+        end
+        else begin
+          (* Execute the block body (truncated to the remaining fuel so
+             an Out_of_fuel raise lands on the same instruction boundary
+             as the reference loop).  Body instructions never change
+             [cur_tag]/[cur_page]/[priv]/[halted] — terminators are
+             excluded — so the per-instruction transfer check and the
+             attribution category are loop invariants.  Charges replay
+             the reference order exactly: one [cost +. c] and one
+             Breakdown cell add per instruction, same floats, same
+             sequence (float summation order is observable in Breakdown
+             totals). *)
+          let k = if b.b_len < !remaining then b.b_len else !remaining in
+          remaining := !remaining - k;
+          let cat_i = Breakdown.category_index (m.attr_of_tag ctx.cur_tag) in
+          let instrs = b.b_instrs and costs = b.b_costs in
+          for i = 0 to k - 1 do
+            let pc = ctx.pc in
+            ctx.instret <- ctx.instret + 1;
+            let c = Array.unsafe_get costs i in
+            ctx.cost <- ctx.cost +. c;
+            Breakdown.charge_idx ctx.breakdown cat_i c;
+            exec_instr m ctx
+              (Array.unsafe_get instrs i)
+              ~pc ~next:(pc + Isa.instr_bytes)
+          done
+        end
+      end
+    else begin
+      decr remaining;
+      (* Reference path.  When the tracer is off, [step]'s try/with
+         exists only to emit a Fault event nobody would see — skip the
+         handler installation per step and let faults propagate raw. *)
+      let r =
+        if Trace.enabled m.tracer then step m ctx else step_unlogged m ctx
+      in
+      match r with `Halted -> running := false | `Running -> ()
+    end
   done
 
 (* --- conveniences used by the OS layer and tests --- *)

@@ -11,6 +11,10 @@ module Breakdown = Dipc_sim.Breakdown
 (** Cost of the software APL-cache refill after a miss (auto-fill mode). *)
 val apl_cache_refill_cost : float
 
+(** A translated basic block (straight-line instructions decoded once,
+    guarded by code/page-table/APL generation counters). *)
+type block
+
 (** One hardware thread's execution context. *)
 type ctx = {
   id : int;  (** identity for synchronous-capability scoping *)
@@ -31,6 +35,8 @@ type ctx = {
   breakdown : Breakdown.t;
   apl_cache : Apl_cache.t;
   mutable halted : bool;
+  blocks : (int, block) Hashtbl.t;
+      (** translated-block cache, keyed by starting pc *)
 }
 
 type t = {
@@ -49,11 +55,23 @@ type t = {
   mutable tlb_entry : Page_table.page;
   mutable inject : Dipc_sim.Inject.t option;
       (** fault injector consulted at domain crossings; [None] = clean *)
+  mutable block_cache : bool;
+      (** [run] uses translated-block dispatch when true (default); the
+          tracer being enabled or an injector being installed overrides
+          this per run.  See {!set_block_cache}. *)
 }
 
 exception Out_of_fuel
 
 val create : unit -> t
+
+(** Enable/disable translated-block dispatch on one machine. *)
+val set_block_cache : t -> bool -> unit
+
+(** Process-wide default for {!create} (sampled at machine creation):
+    the [--no-block-cache] escape hatch for experiment code that builds
+    machines internally. *)
+val set_default_block_cache : bool -> unit
 
 val set_syscall_handler : t -> (ctx -> int -> unit) -> unit
 
@@ -92,11 +110,15 @@ val check_data : t -> ctx -> addr:int -> len:int -> perm:Perm.t -> unit
     rights allow any target, call rights only aligned entry points. *)
 val check_transfer : t -> ctx -> int -> unit
 
-(** Execute one instruction. *)
+(** Execute one instruction (the reference stepper). *)
 val step : t -> ctx -> [ `Halted | `Running ]
 
 (** Run until Halt; raises {!Fault.Fault} on protection violations and
-    {!Out_of_fuel} after [fuel] instructions. *)
+    {!Out_of_fuel} after [fuel] instructions.  Dispatches through the
+    translated-block cache when [block_cache] is set, the tracer is
+    disabled and no injector is installed; otherwise steps through the
+    reference interpreter.  Both paths produce identical architectural
+    state, costs, Breakdown totals and trace digests. *)
 val run : ?fuel:int -> t -> ctx -> unit
 
 (** Kernel-privilege redirection (fault unwinding, Sec. 5.2.1): set the

@@ -12,9 +12,17 @@
    within a page an access is a direct array index.  A one-entry
    last-page cache per store keeps straight-line execution (fetch at
    consecutive pcs, loads/stores into the same buffer) off the page
-   Hashtbl entirely.  Loads from untouched pages allocate nothing and
-   return the store's neutral element (0 / None), exactly as the earlier
-   per-address Hashtbl representation did.
+   Hashtbl entirely, and a matching one-entry absent-page cache keeps
+   repeated reads from an untouched page off the Hashtbl too (allocating
+   nothing: the store's neutral element 0 / None is returned directly).
+   The absent-page entry is dropped as soon as a chunk is allocated for
+   any page of that store, so a first store to the page is immediately
+   visible to subsequent loads.
+
+   [code_gen] counts [place_code] calls: it versions the code store so
+   the machine's translated-block cache can tell whether any code it
+   decoded earlier might have been overwritten (self-modifying code,
+   loaders reusing addresses).
 
    All protection checks happen in [Machine]; this module is the raw
    backing store. *)
@@ -37,7 +45,13 @@ type t = {
   mutable last_cchunk : Capability.t option array;
   mutable last_ipage : int;
   mutable last_ichunk : Isa.instr option array;
+  (* One-entry absent-page caches: page numbers known to have no chunk
+     in the corresponding store (-1 = none cached). *)
+  mutable miss_wpage : int;
+  mutable miss_cpage : int;
+  mutable miss_ipage : int;
   mutable code_count : int; (* placed instruction slots *)
+  mutable code_gen : int; (* bumped by every [place_code] *)
 }
 
 (* [Layout.page_of] is a logical shift, so page numbers are never
@@ -53,7 +67,11 @@ let create () =
     last_cchunk = [||];
     last_ipage = -1;
     last_ichunk = [||];
+    miss_wpage = -1;
+    miss_cpage = -1;
+    miss_ipage = -1;
     code_count = 0;
+    code_gen = 0;
   }
 
 let check_word_aligned addr =
@@ -70,19 +88,23 @@ let word_chunk t page =
       Hashtbl.add t.words page c;
       t.last_wpage <- page;
       t.last_wchunk <- c;
+      t.miss_wpage <- -1;
       c
 
 let load_word t addr =
   check_word_aligned addr;
   let page = Layout.page_of addr in
   if page = t.last_wpage then t.last_wchunk.((addr land page_mask) lsr 3)
+  else if page = t.miss_wpage then 0
   else
     match Hashtbl.find_opt t.words page with
     | Some c ->
         t.last_wpage <- page;
         t.last_wchunk <- c;
         c.((addr land page_mask) lsr 3)
-    | None -> 0
+    | None ->
+        t.miss_wpage <- page;
+        0
 
 let store_word t addr v =
   check_word_aligned addr;
@@ -105,19 +127,23 @@ let cap_chunk t page =
       Hashtbl.add t.caps page c;
       t.last_cpage <- page;
       t.last_cchunk <- c;
+      t.miss_cpage <- -1;
       c
 
 let load_cap t addr =
   check_cap_aligned addr;
   let page = Layout.page_of addr in
   if page = t.last_cpage then t.last_cchunk.((addr land page_mask) lsr 5)
+  else if page = t.miss_cpage then None
   else
     match Hashtbl.find_opt t.caps page with
     | Some c ->
         t.last_cpage <- page;
         t.last_cchunk <- c;
         c.((addr land page_mask) lsr 5)
-    | None -> None
+    | None ->
+        t.miss_cpage <- page;
+        None
 
 let store_cap t addr cap =
   check_cap_aligned addr;
@@ -132,13 +158,16 @@ let fetch t addr =
   else begin
     let page = Layout.page_of addr in
     if page = t.last_ipage then t.last_ichunk.((addr land page_mask) lsr 2)
+    else if page = t.miss_ipage then None
     else
       match Hashtbl.find_opt t.code page with
       | Some c ->
           t.last_ipage <- page;
           t.last_ichunk <- c;
           c.((addr land page_mask) lsr 2)
-      | None -> None
+      | None ->
+          t.miss_ipage <- page;
+          None
   end
 
 let code_chunk t page =
@@ -152,6 +181,7 @@ let code_chunk t page =
       Hashtbl.add t.code page c;
       t.last_ipage <- page;
       t.last_ichunk <- c;
+      t.miss_ipage <- -1;
       c
 
 (* Place a straight-line instruction sequence at [addr]; returns the first
@@ -159,6 +189,7 @@ let code_chunk t page =
 let place_code t ~addr instrs =
   if addr land (Isa.instr_bytes - 1) <> 0 then
     invalid_arg "place_code: misaligned code address";
+  t.code_gen <- t.code_gen + 1;
   List.iteri
     (fun i instr ->
       let a = addr + (i * Isa.instr_bytes) in
@@ -170,3 +201,5 @@ let place_code t ~addr instrs =
   addr + (List.length instrs * Isa.instr_bytes)
 
 let code_size t = t.code_count
+
+let code_generation t = t.code_gen

@@ -48,8 +48,10 @@ type cpu = {
   mutable running : thread option;
   runq : thread Queue.t;
   mutable idle_since : float option;
-  mutable idle_total : float;
-  mutable busy_total : float;
+  (* idle/busy accumulators in a 2-slot [floatarray] (idle at 0, busy
+     at 1): mutable float fields in this mixed record would box a fresh
+     float per store, and [consume] stores once per quantum chunk. *)
+  totals : floatarray;
   mutable last_tid : int;
   mutable last_aspace : int;
   cpu_bd : Breakdown.t;
@@ -88,8 +90,7 @@ let create engine ~ncpus =
           running = None;
           runq = Queue.create ();
           idle_since = Some 0.;
-          idle_total = 0.;
-          busy_total = 0.;
+          totals = Float.Array.make 2 0.;
           last_tid = -1;
           last_aspace = -1;
           cpu_bd = Breakdown.create ();
@@ -158,9 +159,10 @@ let alloc_fd proc label =
 (* --- cost accounting --- *)
 
 let charge t th category ns =
-  Breakdown.charge th.bd category ns;
-  Breakdown.charge t.cpus.(th.cpu).cpu_bd category ns;
-  Breakdown.charge t.lifetime_bd category ns;
+  let i = Breakdown.category_index category in
+  Breakdown.charge_idx th.bd i ns;
+  Breakdown.charge_idx t.cpus.(th.cpu).cpu_bd i ns;
+  Breakdown.charge_idx t.lifetime_bd i ns;
   let tr = Engine.tracer t.engine in
   if Trace.enabled tr then
     Trace.emit_charge tr ~ts:(now t) ~cpu:th.cpu ~tid:th.tid ~cat:category ~dur:ns
@@ -172,7 +174,7 @@ let end_idle t cpu =
   match cpu.idle_since with
   | Some since ->
       let d = now t -. since in
-      cpu.idle_total <- cpu.idle_total +. d;
+      Float.Array.unsafe_set cpu.totals 0 (Float.Array.unsafe_get cpu.totals 0 +. d);
       Breakdown.charge cpu.cpu_bd Breakdown.Idle d;
       Breakdown.charge t.lifetime_bd Breakdown.Idle d;
       let tr = Engine.tracer t.engine in
@@ -222,7 +224,7 @@ let switch_in t th ~idled =
     charge t th Breakdown.Kernel Costs.ipi_handle;
     costs := !costs +. Costs.ipi_handle
   end;
-  if !costs > 0. then Engine.delay !costs
+  if !costs > 0. then Engine.delay_in t.engine !costs
 
 (* Acquire the thread's CPU, waiting on its run queue if busy. *)
 let acquire t th =
@@ -262,13 +264,24 @@ let release t th =
    into scheduler quanta so ready threads on the same CPU make progress
    (approximating timer preemption). *)
 let consume t th category ns =
+  (* Single-quantum fast path: no injector means a zero remainder never
+     preempts, so a chunk that fits in one quantum is exactly one
+     charge + advance (the general loop below computes the same floats:
+     [chunk = ns], [remaining = ns -. ns = 0.]). *)
+  match t.inject with
+  | None when ns > 0. && ns <= t.quantum ->
+      charge t th category ns;
+      let cpu = t.cpus.(th.cpu) in
+      Float.Array.unsafe_set cpu.totals 1 (Float.Array.unsafe_get cpu.totals 1 +. ns);
+      Engine.delay_in t.engine ns
+  | _ ->
   let remaining = ref ns in
   while !remaining > 0. do
     let chunk = if !remaining > t.quantum then t.quantum else !remaining in
     charge t th category chunk;
     let cpu = t.cpus.(th.cpu) in
-    cpu.busy_total <- cpu.busy_total +. chunk;
-    Engine.delay chunk;
+    Float.Array.unsafe_set cpu.totals 1 (Float.Array.unsafe_get cpu.totals 1 +. chunk);
+    Engine.delay_in t.engine chunk;
     remaining := !remaining -. chunk;
     let preempt =
       if not (Queue.is_empty t.cpus.(th.cpu).runq) then
@@ -362,7 +375,7 @@ let wake_one t ~waker:waker_th (q : 'a Sleepq.q) (v : 'a) =
           Trace.emit tr ~ts:(now t) ~cpu:waker_th.cpu ~tid:waker_th.tid
             ~arg:sleeper.tid Trace.Ipi;
         charge t waker_th Breakdown.Kernel Costs.ipi_send;
-        Engine.delay Costs.ipi_send;
+        Engine.delay_in t.engine Costs.ipi_send;
         sleeper.wake_ipi <- true;
         (* Injected IPI perturbation: a delayed interrupt delivers late;
            a lost one only lands when the sender's retry timer refires. *)
@@ -416,7 +429,7 @@ let suspend_on t th register =
 let io_wait t th ns =
   release t th;
   th.state <- `Blocked;
-  Engine.delay ns;
+  Engine.delay_in t.engine ns;
   th.state <- `Ready;
   acquire t th
 
@@ -485,14 +498,14 @@ let spawn ?(cpu = -1) ?(at = None) t proc ~name body =
 
 let cpu_breakdown t i = t.cpus.(i).cpu_bd
 
-let cpu_idle_total t i = t.cpus.(i).idle_total
+let cpu_idle_total t i = Float.Array.unsafe_get t.cpus.(i).totals 0
 
 let reset_stats t =
   Array.iter
     (fun c ->
       Breakdown.clear c.cpu_bd;
-      c.idle_total <- 0.;
-      c.busy_total <- 0.;
+      Float.Array.unsafe_set c.totals 0 0.;
+      Float.Array.unsafe_set c.totals 1 0.;
       if c.idle_since <> None then c.idle_since <- Some (now t))
     t.cpus
 
@@ -505,7 +518,7 @@ let idle_fraction t ~since =
       Array.fold_left
         (fun acc c ->
           let extra = match c.idle_since with Some s -> now t -. s | None -> 0. in
-          acc +. c.idle_total +. extra)
+          acc +. Float.Array.unsafe_get c.totals 0 +. extra)
         0. t.cpus
     in
     idle /. (elapsed *. float_of_int (ncpus t))

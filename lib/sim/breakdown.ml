@@ -60,6 +60,11 @@ let charge t category ns =
   let i = category_index category in
   t.cells.(i) <- t.cells.(i) +. ns
 
+(* Pre-resolved-index variant for call sites that charge the same
+   category into several breakdowns: the index is always a valid cell
+   (categories map to 0..8), so the update skips the bounds check. *)
+let charge_idx t i ns = Array.unsafe_set t.cells i (Array.unsafe_get t.cells i +. ns)
+
 let get t category = t.cells.(category_index category)
 
 let total t = Array.fold_left ( +. ) 0. t.cells

@@ -32,6 +32,10 @@ val clear : t -> unit
 (** Add [ns] to a category. *)
 val charge : t -> category -> float -> unit
 
+(** [charge_idx t i ns] = [charge t c ns] where [i = category_index c];
+    for hot call sites that charge one category into several breakdowns. *)
+val charge_idx : t -> int -> float -> unit
+
 val get : t -> category -> float
 
 val total : t -> float

@@ -11,12 +11,19 @@
    ([suspend]/[resume]). *)
 
 type t = {
-  mutable now : float;
+  (* Current virtual time, in a 1-slot [floatarray]: a [mutable float]
+     field in this mixed record would box a fresh float on every store,
+     and the fast delay path and the run loop each store it once per
+     event — millions of allocations per simulated second. *)
+  now_ : floatarray;
   events : (unit -> unit) Heap.t;
   mutable live : int; (* threads spawned and not yet finished *)
   mutable steps : int;
   mutable step_limit : int;
   mutable tracer : Trace.t;
+  (* Deadline of the innermost [run_until], infinity outside one: the
+     [delay_in] fast path must not carry a thread past it. *)
+  mutable horizon : float;
 }
 
 type 'a waker = { mutable fired : bool; engine : t; deliver : 'a -> unit }
@@ -28,12 +35,13 @@ type _ Effect.t +=
 
 let create () =
   {
-    now = 0.;
+    now_ = Float.Array.make 1 0.;
     events = Heap.create ();
     live = 0;
     steps = 0;
     step_limit = max_int;
     tracer = Trace.null;
+    horizon = infinity;
   }
 
 let set_step_limit t limit = t.step_limit <- limit
@@ -42,10 +50,13 @@ let set_trace t tracer = t.tracer <- tracer
 
 let tracer t = t.tracer
 
-let now t = t.now
+let now t = Float.Array.unsafe_get t.now_ 0
+
+let set_now t v = Float.Array.unsafe_set t.now_ 0 v
 
 let schedule t ~at f =
-  let at = if at < t.now then t.now else at in
+  let now = Float.Array.unsafe_get t.now_ 0 in
+  let at = if at < now then now else at in
   if Trace.enabled t.tracer then Trace.emit_bare t.tracer ~ts:at Trace.Sched;
   Heap.push t.events ~time:at f
 
@@ -65,12 +76,12 @@ let rec exec t f =
           | Delay d ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule t ~at:(t.now +. d) (fun () -> continue k ()))
+                  schedule t ~at:(now t +. d) (fun () -> continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   if Trace.enabled t.tracer then
-                    Trace.emit_bare t.tracer ~ts:t.now Trace.Suspend;
+                    Trace.emit_bare t.tracer ~ts:(now t) Trace.Suspend;
                   let waker =
                     {
                       fired = false;
@@ -78,24 +89,55 @@ let rec exec t f =
                       deliver =
                         (fun v ->
                           if Trace.enabled t.tracer then
-                            Trace.emit_bare t.tracer ~ts:t.now Trace.Resume;
-                          schedule t ~at:t.now (fun () -> continue k v));
+                            Trace.emit_bare t.tracer ~ts:(now t) Trace.Resume;
+                          schedule t ~at:(now t) (fun () -> continue k v));
                     }
                   in
                   register waker)
-          | Now -> Some (fun (k : (a, unit) continuation) -> continue k t.now)
+          | Now -> Some (fun (k : (a, unit) continuation) -> continue k (now t))
           | _ -> None);
     }
 
 and spawn ?at t f =
   t.live <- t.live + 1;
-  let at = match at with None -> t.now | Some at -> at in
+  let at = match at with None -> now t | Some at -> at in
   if Trace.enabled t.tracer then Trace.emit_bare t.tracer ~ts:at Trace.Spawn;
   schedule t ~at (fun () -> exec t f)
 
 (* --- operations available inside simulated threads --- *)
 
 let delay d = if d > 0. then Effect.perform (Delay d) else ()
+
+(* [delay_in t d] = [delay d] for a thread running inside engine [t],
+   with a fast path that skips the effect round trip and the heap.
+
+   The slow path is: perform Delay -> [schedule] emits a Sched event at
+   [at = now + d] and pushes the continuation -> the run loop pops the
+   heap minimum, bumps [steps], sets [now] and resumes.  When our event
+   would be the strict minimum (heap empty or top strictly later — a tie
+   loses to the earlier sequence number), nothing can run between push
+   and pop, so emitting the same Sched event, bumping [steps] and
+   advancing [now] in place is observably identical: same trace stream
+   byte for byte, same heap pop order for every other event (eliding a
+   push/pop pair preserves the relative insertion order of the rest).
+   The guards delegate to the real path whenever popping would cross a
+   [run_until] horizon (the event must stay queued) or trip the step
+   limit (the raise must come from the run loop, not from inside the
+   thread). *)
+let delay_in t d =
+  if d > 0. then begin
+    let at = Float.Array.unsafe_get t.now_ 0 +. d in
+    if
+      at <= t.horizon
+      && t.steps < t.step_limit
+      && (Heap.is_empty t.events || Heap.top_time t.events > at)
+    then begin
+      if Trace.enabled t.tracer then Trace.emit_bare t.tracer ~ts:at Trace.Sched;
+      t.steps <- t.steps + 1;
+      Float.Array.unsafe_set t.now_ 0 at
+    end
+    else Effect.perform (Delay d)
+  end
 
 let current_time () = Effect.perform Now
 
@@ -124,26 +166,28 @@ let run t =
     let thunk = Heap.pop_min t.events in
     t.steps <- t.steps + 1;
     if t.steps > t.step_limit then raise Step_limit_exceeded;
-    t.now <- time;
+    Float.Array.unsafe_set t.now_ 0 time;
     thunk ()
   done
 
 (* Run until virtual time [deadline]; events after it stay queued. *)
 let run_until t deadline =
+  t.horizon <- deadline;
+  Fun.protect ~finally:(fun () -> t.horizon <- infinity) @@ fun () ->
   let continue = ref true in
   while !continue do
     if Heap.is_empty t.events then continue := false
     else begin
       let time = Heap.top_time t.events in
       if time > deadline then begin
-        t.now <- deadline;
+        set_now t deadline;
         continue := false
       end
       else begin
         let thunk = Heap.pop_min t.events in
         t.steps <- t.steps + 1;
         if t.steps > t.step_limit then raise Step_limit_exceeded;
-        t.now <- time;
+        Float.Array.unsafe_set t.now_ 0 time;
         thunk ()
       end
     end

@@ -35,6 +35,12 @@ val spawn : ?at:float -> t -> (unit -> unit) -> unit
 (** Inside a thread: advance virtual time by [d] nanoseconds. *)
 val delay : float -> unit
 
+(** [delay_in t d] behaves exactly like {!delay} for a thread running
+    inside engine [t], but skips the effect round trip and the timer
+    heap when no other event is due before the wakeup (observably
+    identical: same trace events, same event order). *)
+val delay_in : t -> float -> unit
+
 (** Inside a thread: the current virtual time. *)
 val current_time : unit -> float
 

@@ -59,6 +59,9 @@ let ensure_capacity h =
     h.payloads <- payloads
   end
 
+(* Every index in the sift loops is bounded by [size] (itself at most
+   the arrays' length, maintained by [ensure_capacity]), so the array
+   accesses skip the bounds checks. *)
 let push h ~time payload =
   ensure_capacity h;
   let times = h.times and seqs = h.seqs and payloads = h.payloads in
@@ -72,17 +75,18 @@ let push h ~time payload =
   while !continue && !i > 0 do
     let c = !i in
     let p = (c - 1) / 2 in
-    if time < times.(p) || (time = times.(p) && seq < seqs.(p)) then begin
-      times.(c) <- times.(p);
-      seqs.(c) <- seqs.(p);
-      payloads.(c) <- payloads.(p);
+    let pt = Array.unsafe_get times p in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs p) then begin
+      Array.unsafe_set times c pt;
+      Array.unsafe_set seqs c (Array.unsafe_get seqs p);
+      Array.unsafe_set payloads c (Array.unsafe_get payloads p);
       i := p
     end
     else continue := false
   done;
-  times.(!i) <- time;
-  seqs.(!i) <- seq;
-  payloads.(!i) <- Obj.repr payload
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set payloads !i (Obj.repr payload)
 
 (* Remove the root: null the vacated last slot, then percolate the hole
    at the root down, moving the earlier child up each level, until the
@@ -103,25 +107,28 @@ let remove_top h =
       else begin
         (* Pick the earlier of the two children. *)
         let r = l + 1 in
-        let m =
+        let lt = Array.unsafe_get times l in
+        let m, mt =
           if
             r < size
-            && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
-          then r
-          else l
+            && (let rt = Array.unsafe_get times r in
+                rt < lt
+                || (rt = lt && Array.unsafe_get seqs r < Array.unsafe_get seqs l))
+          then (r, Array.unsafe_get times r)
+          else (l, lt)
         in
-        if times.(m) < ltime || (times.(m) = ltime && seqs.(m) < lseq) then begin
-          times.(c) <- times.(m);
-          seqs.(c) <- seqs.(m);
-          payloads.(c) <- payloads.(m);
+        if mt < ltime || (mt = ltime && Array.unsafe_get seqs m < lseq) then begin
+          Array.unsafe_set times c mt;
+          Array.unsafe_set seqs c (Array.unsafe_get seqs m);
+          Array.unsafe_set payloads c (Array.unsafe_get payloads m);
           i := m
         end
         else continue := false
       end
     done;
-    times.(!i) <- ltime;
-    seqs.(!i) <- lseq;
-    payloads.(!i) <- lpay
+    Array.unsafe_set times !i ltime;
+    Array.unsafe_set seqs !i lseq;
+    Array.unsafe_set payloads !i lpay
   end
 
 let pop h =

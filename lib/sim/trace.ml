@@ -135,7 +135,14 @@ type t = {
    multiplies instead of 64.  Arbitrary values (timestamps, real
    durations, large args) fall back to the unrolled serial chain, which
    the compiler keeps in unboxed Int64 registers (a chain of [let]s, no
-   [ref] — a boxed accumulator costs an allocation per byte). *)
+   [ref] — a boxed accumulator costs an allocation per byte).
+
+   The serial chains are written *inline* inside the emit functions for
+   the float fields and the two-byte int case: the compiler (Closure
+   mode, no flambda) does not inline the out-of-line helpers, and a
+   call with an [int64] argument boxes it — one allocation and a call
+   per event on the timestamp fold alone.  The named helpers below
+   remain as the reference implementations and serve the cold paths. *)
 
 let fnv_offset = 0xCBF29CE484222325L
 
@@ -180,29 +187,6 @@ let mix_int_slow h v =
   let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 40) land 0xff))) p in
   let h = Int64.mul (Int64.logxor h (Int64.of_int ((v asr 48) land 0xff))) p in
   Int64.mul (Int64.logxor h (Int64.of_int ((v asr 56) land 0xff))) p
-
-(* Serial fold of bytes 4..7 of an IEEE-754 pattern, given as the high
-   32 bits in a native int (used after the low word was all zero). *)
-let mix_hi32 h w =
-  let p = fnv_prime in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
-  Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
-
-(* Full 8-byte fold of an IEEE-754 pattern. *)
-let mix_float_slow h bits =
-  let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
-  let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
-  let p = fnv_prime in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
-  Int64.mul (Int64.logxor h (Int64.of_int b7)) p
 
 (* Fold one int field, out-of-line tail of the inline dispatch in
    [emit]: fast path for 256..65535 per the identities above, serial
@@ -250,6 +234,25 @@ let enabled t = t.on
 
 let set_sink t sink = t.sink <- sink
 
+(* Ring store shared by the emit entry points.  [head] is always a
+   valid index (< cap, every array is [cap] long), so the stores skip
+   the bounds checks; the wrap is a compare instead of a [mod] — an
+   integer divide would cost more than the rest of the store. *)
+let store t ~ts ~ki ~cpu ~tid ~tag ~ci ~dur ~arg =
+  let i = t.head in
+  Array.unsafe_set t.ts i ts;
+  Array.unsafe_set t.kinds i ki;
+  Array.unsafe_set t.cpus i cpu;
+  Array.unsafe_set t.tids i tid;
+  Array.unsafe_set t.tags i tag;
+  Array.unsafe_set t.cats i ci;
+  Array.unsafe_set t.durs i dur;
+  Array.unsafe_set t.args i arg;
+  let i1 = i + 1 in
+  t.head <- (if i1 = t.cap then 0 else i1);
+  if t.len < t.cap then t.len <- t.len + 1;
+  t.count <- t.count + 1
+
 (* Out-of-line sink dispatch shared by the emit entry points: the event
    record is only materialised when an observer is installed, so the
    sink-free hot path pays one load and branch. *)
@@ -289,11 +292,30 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
     let h =
       let bits = Int64.bits_of_float ts in
       if bits = 0L then Int64.mul h fnv_prime_8
-      else if Int64.logand bits 0xFFFFFFFFL = 0L then
-        mix_hi32
-          (Int64.mul h fnv_prime_4)
-          (Int64.to_int (Int64.shift_right_logical bits 32))
-      else mix_float_slow h bits
+      else begin
+        let p = fnv_prime in
+        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+        if lo32 = 0 then begin
+          let w = Int64.to_int (Int64.shift_right_logical bits 32) in
+          let h = Int64.mul h fnv_prime_4 in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
+        end
+        else begin
+          let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
+          let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int b7)) p
+        end
+      end
     in
     (* ki is always a small kind index: unconditional fast path. *)
     let h =
@@ -314,6 +336,15 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
         Int64.mul (Int64.add h (Int64.of_int ((l0 lxor tid) - l0))) fnv_prime_8
       else if tid = -1 then
         Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else if tid land -65536 = 0 then begin
+        let l0 = Int64.to_int h land 0xff in
+        let y0 = l0 lxor (tid land 0xff) in
+        let l1 = y0 * 0xB3 land 0xff in
+        let d1 = (l1 lxor (tid lsr 8)) - l1 in
+        Int64.add
+          (Int64.mul (Int64.add h (Int64.of_int (y0 - l0))) fnv_prime_8)
+          (Int64.mul (Int64.of_int d1) fnv_prime_7)
+      end
       else mix_int_any h tid
     in
     let h =
@@ -334,11 +365,30 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
     let h =
       let bits = Int64.bits_of_float dur in
       if bits = 0L then Int64.mul h fnv_prime_8
-      else if Int64.logand bits 0xFFFFFFFFL = 0L then
-        mix_hi32
-          (Int64.mul h fnv_prime_4)
-          (Int64.to_int (Int64.shift_right_logical bits 32))
-      else mix_float_slow h bits
+      else begin
+        let p = fnv_prime in
+        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+        if lo32 = 0 then begin
+          let w = Int64.to_int (Int64.shift_right_logical bits 32) in
+          let h = Int64.mul h fnv_prime_4 in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
+        end
+        else begin
+          let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
+          let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int b7)) p
+        end
+      end
     in
     let h =
       if arg land -256 = 0 then
@@ -350,19 +400,10 @@ let emit t ~ts ?(cpu = -1) ?(tid = -1) ?(tag = -1) ?cat ?(dur = 0.) ?(arg = 0) k
     in
     t.hash_lo <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
     t.hash_hi <- Int64.to_int (Int64.shift_right_logical h 32);
-    let i = t.head in
-    t.ts.(i) <- ts;
-    t.kinds.(i) <- ki;
-    t.cpus.(i) <- cpu;
-    t.tids.(i) <- tid;
-    t.tags.(i) <- tag;
-    t.cats.(i) <- ci;
-    t.durs.(i) <- dur;
-    t.args.(i) <- arg;
-    t.head <- (i + 1) mod t.cap;
-    if t.len < t.cap then t.len <- t.len + 1;
-    t.count <- t.count + 1;
-    feed_sink t ~ts ~ki ~cpu ~tid ~tag ~ci ~dur ~arg
+    store t ~ts ~ki ~cpu ~tid ~tag ~ci ~dur ~arg;
+    match t.sink with
+    | None -> ()
+    | Some _ -> feed_sink t ~ts ~ki ~cpu ~tid ~tag ~ci ~dur ~arg
   end
 
 (* Lean hot-path variants of [emit].  Digest- and ring-identical to the
@@ -388,11 +429,30 @@ let emit_bare t ~ts kind =
     let h =
       let bits = Int64.bits_of_float ts in
       if bits = 0L then Int64.mul h fnv_prime_8
-      else if Int64.logand bits 0xFFFFFFFFL = 0L then
-        mix_hi32
-          (Int64.mul h fnv_prime_4)
-          (Int64.to_int (Int64.shift_right_logical bits 32))
-      else mix_float_slow h bits
+      else begin
+        let p = fnv_prime in
+        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+        if lo32 = 0 then begin
+          let w = Int64.to_int (Int64.shift_right_logical bits 32) in
+          let h = Int64.mul h fnv_prime_4 in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
+        end
+        else begin
+          let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
+          let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int b7)) p
+        end
+      end
     in
     (* ki is always a small kind index *)
     let h =
@@ -409,19 +469,10 @@ let emit_bare t ~ts kind =
     let h = Int64.mul h fnv_prime_8 in
     t.hash_lo <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
     t.hash_hi <- Int64.to_int (Int64.shift_right_logical h 32);
-    let i = t.head in
-    t.ts.(i) <- ts;
-    t.kinds.(i) <- ki;
-    t.cpus.(i) <- -1;
-    t.tids.(i) <- -1;
-    t.tags.(i) <- -1;
-    t.cats.(i) <- -1;
-    t.durs.(i) <- 0.;
-    t.args.(i) <- 0;
-    t.head <- (i + 1) mod t.cap;
-    if t.len < t.cap then t.len <- t.len + 1;
-    t.count <- t.count + 1;
-    feed_sink t ~ts ~ki ~cpu:(-1) ~tid:(-1) ~tag:(-1) ~ci:(-1) ~dur:0. ~arg:0
+    store t ~ts ~ki ~cpu:(-1) ~tid:(-1) ~tag:(-1) ~ci:(-1) ~dur:0. ~arg:0;
+    match t.sink with
+    | None -> ()
+    | Some _ -> feed_sink t ~ts ~ki ~cpu:(-1) ~tid:(-1) ~tag:(-1) ~ci:(-1) ~dur:0. ~arg:0
   end
 
 (* [emit t ~ts ~cpu ~tid ~cat ~dur Charge] (tag and arg defaulted): the
@@ -437,11 +488,30 @@ let emit_charge t ~ts ~cpu ~tid ~cat ~dur =
     let h =
       let bits = Int64.bits_of_float ts in
       if bits = 0L then Int64.mul h fnv_prime_8
-      else if Int64.logand bits 0xFFFFFFFFL = 0L then
-        mix_hi32
-          (Int64.mul h fnv_prime_4)
-          (Int64.to_int (Int64.shift_right_logical bits 32))
-      else mix_float_slow h bits
+      else begin
+        let p = fnv_prime in
+        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+        if lo32 = 0 then begin
+          let w = Int64.to_int (Int64.shift_right_logical bits 32) in
+          let h = Int64.mul h fnv_prime_4 in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
+        end
+        else begin
+          let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
+          let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int b7)) p
+        end
+      end
     in
     (* ki = 9 (Charge) *)
     let h =
@@ -462,6 +532,15 @@ let emit_charge t ~ts ~cpu ~tid ~cat ~dur =
         Int64.mul (Int64.add h (Int64.of_int ((l0 lxor tid) - l0))) fnv_prime_8
       else if tid = -1 then
         Int64.add (Int64.mul h fnv_prime_8) d_ff.(Int64.to_int h land 0xff)
+      else if tid land -65536 = 0 then begin
+        let l0 = Int64.to_int h land 0xff in
+        let y0 = l0 lxor (tid land 0xff) in
+        let l1 = y0 * 0xB3 land 0xff in
+        let d1 = (l1 lxor (tid lsr 8)) - l1 in
+        Int64.add
+          (Int64.mul (Int64.add h (Int64.of_int (y0 - l0))) fnv_prime_8)
+          (Int64.mul (Int64.of_int d1) fnv_prime_7)
+      end
       else mix_int_any h tid
     in
     (* tag = -1 *)
@@ -474,29 +553,39 @@ let emit_charge t ~ts ~cpu ~tid ~cat ~dur =
     let h =
       let bits = Int64.bits_of_float dur in
       if bits = 0L then Int64.mul h fnv_prime_8
-      else if Int64.logand bits 0xFFFFFFFFL = 0L then
-        mix_hi32
-          (Int64.mul h fnv_prime_4)
-          (Int64.to_int (Int64.shift_right_logical bits 32))
-      else mix_float_slow h bits
+      else begin
+        let p = fnv_prime in
+        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+        if lo32 = 0 then begin
+          let w = Int64.to_int (Int64.shift_right_logical bits 32) in
+          let h = Int64.mul h fnv_prime_4 in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (w land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 16) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int ((w lsr 24) land 0xff))) p
+        end
+        else begin
+          let low = Int64.to_int (Int64.logand bits 0xFFFFFFFFFFFFFFL) in
+          let b7 = Int64.to_int (Int64.shift_right_logical bits 56) land 0xff in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int (low land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 8) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 16) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 24) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 32) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 40) land 0xff))) p in
+          let h = Int64.mul (Int64.logxor h (Int64.of_int ((low lsr 48) land 0xff))) p in
+          Int64.mul (Int64.logxor h (Int64.of_int b7)) p
+        end
+      end
     in
     (* arg = 0 *)
     let h = Int64.mul h fnv_prime_8 in
     t.hash_lo <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
     t.hash_hi <- Int64.to_int (Int64.shift_right_logical h 32);
-    let i = t.head in
-    t.ts.(i) <- ts;
-    t.kinds.(i) <- 9;
-    t.cpus.(i) <- cpu;
-    t.tids.(i) <- tid;
-    t.tags.(i) <- -1;
-    t.cats.(i) <- ci;
-    t.durs.(i) <- dur;
-    t.args.(i) <- 0;
-    t.head <- (i + 1) mod t.cap;
-    if t.len < t.cap then t.len <- t.len + 1;
-    t.count <- t.count + 1;
-    feed_sink t ~ts ~ki:9 ~cpu ~tid ~tag:(-1) ~ci ~dur ~arg:0
+    store t ~ts ~ki:9 ~cpu ~tid ~tag:(-1) ~ci ~dur ~arg:0;
+    match t.sink with
+    | None -> ()
+    | Some _ -> feed_sink t ~ts ~ki:9 ~cpu ~tid ~tag:(-1) ~ci ~dur ~arg:0
   end
 
 let total t = t.count

@@ -102,7 +102,7 @@ let rec disk_pump d =
   match Queue.take_opt d.d_requests with
   | None -> d.d_active <- false
   | Some waker ->
-      Engine.delay (Rng.exponential d.d_rng ~mean:d.d_mean);
+      Engine.delay_in (Kernel.engine d.d_kern) (Rng.exponential d.d_rng ~mean:d.d_mean);
       Engine.resume waker ();
       disk_pump d
 

@@ -1,0 +1,372 @@
+(* Translated-block cache vs. the reference stepper.
+
+   [Machine.run] dispatches straight-line code through decoded basic
+   blocks; these tests pin the contract that the fast path is
+   *observationally identical* to stepping: same registers, memory,
+   instret, cost, Breakdown totals (float-sum order included), same
+   faults at the same pcs, same Out_of_fuel truncation points, and same
+   replay digests — plus directed tests that every generation guard
+   (code rewrite, page remap, APL revoke, APL-cache flush) actually
+   invalidates stale translations. *)
+
+module Machine = Dipc_hw.Machine
+module Memory = Dipc_hw.Memory
+module Page_table = Dipc_hw.Page_table
+module Apl = Dipc_hw.Apl
+module Apl_cache = Dipc_hw.Apl_cache
+module Isa = Dipc_hw.Isa
+module Layout = Dipc_hw.Layout
+module Perm = Dipc_hw.Perm
+module Fault = Dipc_hw.Fault
+module Breakdown = Dipc_sim.Breakdown
+module Trace = Dipc_sim.Trace
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* --- a small fixed universe for random programs --- *)
+
+let code0 = 0x100000 (* 2 executable pages, tag a *)
+
+let callee = 0x110000 (* 1 executable page, tag b: Addi; Ret *)
+
+let data = 0x200000 (* 1 rw page, tag a *)
+
+let stack = 0x300000 (* 1 rw page, tag a *)
+
+type universe = { m : Machine.t; tag_a : int; tag_b : int; tag_c : int }
+
+(* Build the universe and load [prog] at [code0].  [block] selects the
+   dispatch mode under test. *)
+let setup ~block prog =
+  let m = Machine.create () in
+  Machine.set_block_cache m block;
+  let tag_a = Apl.fresh_tag m.Machine.apl in
+  let tag_b = Apl.fresh_tag m.Machine.apl in
+  let tag_c = Apl.fresh_tag m.Machine.apl in
+  Page_table.map m.Machine.page_table ~addr:code0 ~count:2 ~tag:tag_a
+    ~writable:false ~executable:true ();
+  Page_table.map m.Machine.page_table ~addr:callee ~count:1 ~tag:tag_b
+    ~writable:false ~executable:true ();
+  Page_table.map m.Machine.page_table ~addr:data ~count:1 ~tag:tag_c ();
+  Page_table.map m.Machine.page_table ~addr:stack ~count:1 ~tag:tag_a ();
+  (* a may call b's (aligned) entry points; b may return anywhere into a
+     and read a's stack. *)
+  Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_b Perm.Call;
+  Apl.grant m.Machine.apl ~src:tag_b ~dst:tag_a Perm.Read;
+  (* the data page is its own domain, reachable from a but not from b *)
+  Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_c Perm.Owner;
+  ignore (Memory.place_code m.Machine.mem ~addr:code0 prog);
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:callee [ Isa.Addi (2, 2, 7); Isa.Ret ]);
+  { m; tag_a; tag_b; tag_c }
+
+let fresh_ctx u =
+  Machine.new_ctx u.m ~pc:code0 ~sp_value:(stack + Layout.page_size)
+
+(* --- random programs --- *)
+
+(* Each abstract op is one instruction; branch targets only point
+   forward (to a later slot or the trailing Halt), so every program
+   terminates.  Faulting programs are kept: faults must be identical on
+   both paths. *)
+let instr_of ~i ~n (sel, a, b, c) =
+  let a = abs a and b = abs b and c = abs c in
+  let r k = 2 + (k mod 4) in
+  let fwd k = code0 + (Isa.instr_bytes * (i + 1 + (k mod (n - i)))) in
+  match sel mod 16 with
+  | 0 -> Isa.Const (r a, b)
+  | 1 -> Isa.Mov (r a, r b)
+  | 2 -> Isa.Add (r a, r b, r c)
+  | 3 -> Isa.Addi (r a, r b, c mod 256)
+  | 4 -> Isa.Sub (r a, r b, r c)
+  | 5 -> Isa.Mul (r a, r b, r c)
+  | 6 -> Isa.Shli (r a, r b, b mod 8)
+  | 7 | 8 -> Isa.Load (r a, 1, 8 * (b mod 64))
+  | 9 | 10 -> Isa.Store (1, 8 * (b mod 64), r a)
+  | 11 -> Isa.Beq (r a, r b, fwd c)
+  | 12 -> Isa.Blt (r a, r b, fwd c)
+  | 13 -> Isa.Beqz (r a, fwd c)
+  | 14 -> Isa.Jmp (fwd c)
+  | 15 -> Isa.Call callee
+  | _ -> Isa.Nop
+
+let prog_of_ops ops =
+  let n = List.length ops in
+  (* reg 1 = data-page base for every Load/Store *)
+  (Isa.Const (1, data) :: List.mapi (fun i op -> instr_of ~i:(i + 1) ~n:(n + 1) op) ops)
+  @ [ Isa.Halt ]
+
+let ops_gen =
+  QCheck.list_of_size QCheck.Gen.(5 -- 60)
+    QCheck.(quad small_nat small_int small_int small_int)
+
+(* --- observable state --- *)
+
+type outcome = Done | Fault of Fault.t | Fuel
+
+let run_outcome ?fuel u ctx =
+  match Machine.run ?fuel u.m ctx with
+  | () -> Done
+  | exception Fault.Fault f -> Fault f
+  | exception Machine.Out_of_fuel -> Fuel
+
+(* Everything the block path could plausibly get wrong, in one
+   comparable value.  Floats are compared exactly: bit-identical sums
+   are part of the contract. *)
+let observe u (ctx : Machine.ctx) outcome =
+  (* data writes land in the low words of the data page; stack pushes in
+     the top words of the stack page *)
+  let words k = Array.init 64 (fun i -> Machine.peek_word u.m ~addr:(k + (8 * i))) in
+  let stack_top =
+    Array.init 64 (fun i ->
+        Machine.peek_word u.m ~addr:(stack + Layout.page_size - (8 * (i + 1))))
+  in
+  ( outcome,
+    Array.copy ctx.Machine.regs,
+    ( ctx.Machine.pc,
+      ctx.Machine.cur_tag,
+      ctx.Machine.priv,
+      ctx.Machine.depth,
+      ctx.Machine.halted ),
+    (ctx.Machine.instret, ctx.Machine.cost),
+    Breakdown.to_list ctx.Machine.breakdown,
+    (words data, stack_top) )
+
+let run_one ~block ?fuel prog =
+  let u = setup ~block prog in
+  let ctx = fresh_ctx u in
+  let outcome = run_outcome ?fuel u ctx in
+  observe u ctx outcome
+
+(* --- the differential properties --- *)
+
+let prop_differential =
+  QCheck.Test.make ~name:"block path == reference stepper (random programs)"
+    ~count:300
+    QCheck.(pair ops_gen (frequency [ (4, always 100_000); (1, int_range 1 40) ]))
+    (fun (ops, fuel) ->
+      let prog = prog_of_ops ops in
+      run_one ~block:true ~fuel prog = run_one ~block:false ~fuel prog)
+
+let prop_differential_traced_digest =
+  QCheck.Test.make
+    ~name:"tracer forces the reference path: digests and state identical"
+    ~count:60 ops_gen
+    (fun ops ->
+      let prog = prog_of_ops ops in
+      let traced block =
+        let u = setup ~block prog in
+        let tr = Trace.create () in
+        Machine.set_trace u.m tr;
+        let ctx = fresh_ctx u in
+        let outcome = run_outcome u ctx in
+        (observe u ctx outcome, Trace.digest_hex tr)
+      in
+      let (s_on, d_on) = traced true and (s_off, d_off) = traced false in
+      (* traced runs agree with each other and with the untraced block run *)
+      s_on = s_off && d_on = d_off && s_on = run_one ~block:true prog)
+
+let prop_self_modifying =
+  QCheck.Test.make
+    ~name:"place_code between runs invalidates stale blocks" ~count:100
+    QCheck.(pair ops_gen ops_gen)
+    (fun (ops1, ops2) ->
+      let both block =
+        let u = setup ~block (prog_of_ops ops1) in
+        let c1 = fresh_ctx u in
+        let o1 = run_outcome u c1 in
+        let s1 = observe u c1 o1 in
+        (* overwrite the code in place: run 2 must see only the new
+           program even where the old one left warm translations *)
+        ignore (Memory.place_code u.m.Machine.mem ~addr:code0 (prog_of_ops ops2));
+        let c2 = fresh_ctx u in
+        let o2 = run_outcome u c2 in
+        (s1, observe u c2 o2)
+      in
+      both true = both false)
+
+(* --- directed invalidation tests --- *)
+
+let check_both name f =
+  Alcotest.(check bool) name true (f true = f false)
+
+let test_code_rewrite () =
+  let prog v =
+    [ Isa.Const (2, v); Isa.Addi (2, 2, 1); Isa.Addi (2, 2, 1); Isa.Halt ]
+  in
+  let run block =
+    let u = setup ~block (prog 10) in
+    let c1 = fresh_ctx u in
+    let (_ : outcome) = run_outcome u c1 in
+    ignore (Memory.place_code u.m.Machine.mem ~addr:code0 (prog 100));
+    let c2 = fresh_ctx u in
+    let (_ : outcome) = run_outcome u c2 in
+    (c1.Machine.regs.(2), c2.Machine.regs.(2))
+  in
+  (* the second run must execute the rewritten constants *)
+  Alcotest.(check (pair int int)) "block cache sees rewritten code" (12, 102)
+    (run true);
+  Alcotest.(check (pair int int)) "reference agrees" (12, 102) (run false)
+
+let test_page_remap () =
+  let prog = [ Isa.Const (1, data); Isa.Load (2, 1, 0); Isa.Halt ] in
+  let run block =
+    let u = setup ~block prog in
+    Memory.store_word u.m.Machine.mem data 77;
+    let c1 = fresh_ctx u in
+    let o1 = run_outcome u c1 in
+    (* remap the code pages under a tag with no rights on the data page:
+       the pt generation bump must force retranslation, and the Load now
+       faults *)
+    Page_table.unmap u.m.Machine.page_table ~addr:code0 ~count:2;
+    Page_table.map u.m.Machine.page_table ~addr:code0 ~count:2 ~tag:u.tag_b
+      ~writable:false ~executable:true ();
+    let c2 = fresh_ctx u in
+    let o2 = run_outcome u c2 in
+    (o1, c1.Machine.regs.(2), o2)
+  in
+  let check name (o1, r2, o2) =
+    Alcotest.(check bool) (name ^ ": first run completes") true (o1 = Done);
+    Alcotest.(check int) (name ^ ": first run loads the word") 77 r2;
+    match o2 with
+    | Fault { Fault.kind = Fault.No_permission _; _ } -> ()
+    | _ -> Alcotest.fail (name ^ ": remapped run must fault on the load")
+  in
+  check "blocks" (run true);
+  check_both "remap behaves identically on both paths" run
+
+let test_apl_revoke_midrun () =
+  (* the syscall handler revokes a->b mid-run: the Call that worked
+     before the syscall must fault after it, identically on both paths *)
+  let prog =
+    [
+      Isa.Const (1, data);
+      Isa.Call callee;
+      Isa.Syscall 0;
+      Isa.Call callee;
+      Isa.Halt;
+    ]
+  in
+  let run block =
+    let u = setup ~block prog in
+    Machine.set_syscall_handler u.m (fun _ctx _n ->
+        Apl.revoke u.m.Machine.apl ~src:u.tag_a ~dst:u.tag_b);
+    let ctx = fresh_ctx u in
+    let o = run_outcome u ctx in
+    (o, ctx.Machine.regs.(2), ctx.Machine.instret)
+  in
+  (match run true with
+  | Fault { Fault.kind = Fault.No_permission _; _ }, r2, _ ->
+      Alcotest.(check int) "first call executed the callee" 7 r2
+  | _ -> Alcotest.fail "revoked call must fault");
+  check_both "APL revoke behaves identically on both paths" run
+
+let test_apl_cache_flush_midrun () =
+  let prog =
+    [
+      Isa.Const (2, 5);
+      Isa.Syscall 0;
+      Isa.Addi (2, 2, 1);
+      Isa.Addi (2, 2, 1);
+      Isa.Halt;
+    ]
+  in
+  let run block =
+    let u = setup ~block prog in
+    Machine.set_syscall_handler u.m (fun ctx _n ->
+        (* deliberate flush: bumps the per-thread cache generation, so a
+           warm block translated before the syscall is retranslated *)
+        Apl_cache.reset ctx.Machine.apl_cache);
+    let ctx = fresh_ctx u in
+    let o = run_outcome u ctx in
+    (o, ctx.Machine.regs.(2), ctx.Machine.cost)
+  in
+  (match run true with
+  | Done, 7, _ -> ()
+  | _ -> Alcotest.fail "flushed run must still complete with reg2 = 7");
+  check_both "APL-cache flush behaves identically on both paths" run
+
+let test_fuel_truncation () =
+  (* a tight loop, fuel stops mid-block: the truncation instruction must
+     match the reference exactly *)
+  let loop = code0 + (3 * Isa.instr_bytes) in
+  let prog =
+    [
+      Isa.Const (1, data);
+      Isa.Const (2, 0);
+      Isa.Const (3, 1000);
+      Isa.Addi (2, 2, 1);
+      Isa.Store (1, 0, 2);
+      Isa.Load (4, 1, 0);
+      Isa.Blt (2, 3, loop);
+      Isa.Halt;
+    ]
+  in
+  let run block fuel =
+    let u = setup ~block prog in
+    let ctx = fresh_ctx u in
+    let o = run_outcome ~fuel u ctx in
+    (o, ctx.Machine.pc, ctx.Machine.instret, ctx.Machine.cost)
+  in
+  for fuel = 1 to 60 do
+    let (o, _, _, _) as on = run true fuel in
+    Alcotest.(check bool)
+      (Printf.sprintf "fuel=%d truncates identically" fuel)
+      true
+      (on = run false fuel);
+    if fuel < 20 then
+      Alcotest.(check bool) (Printf.sprintf "fuel=%d runs out" fuel) true (o = Fuel)
+  done
+
+let test_page_boundary () =
+  (* straight-line code crossing an intra-domain page boundary: the
+     translation stops at the boundary, the next block picks up on the
+     far page, and no domain crossing happens (same tag) *)
+  let start = code0 + Layout.page_size - (4 * Isa.instr_bytes) in
+  let run block =
+    let u = setup ~block [ Isa.Halt ] in
+    ignore
+      (Memory.place_code u.m.Machine.mem ~addr:start
+         [
+           Isa.Const (2, 1);
+           Isa.Addi (2, 2, 10);
+           Isa.Addi (2, 2, 100);
+           Isa.Addi (2, 2, 1000);
+           (* --- page boundary --- *)
+           Isa.Addi (2, 2, 10000);
+           Isa.Addi (2, 2, 100000);
+           Isa.Halt;
+         ]);
+    let ctx = Machine.new_ctx u.m ~pc:start ~sp_value:(stack + Layout.page_size) in
+    let o = run_outcome u ctx in
+    (o, ctx.Machine.regs.(2), ctx.Machine.instret)
+  in
+  Alcotest.(check bool) "crosses the boundary" true
+    (run true = (Done, 111111, 7));
+  Alcotest.(check bool) "identical to reference" true (run true = run false)
+
+let test_default_toggle () =
+  Machine.set_default_block_cache false;
+  let m1 = Machine.create () in
+  Machine.set_default_block_cache true;
+  let m2 = Machine.create () in
+  Alcotest.(check bool) "default off is sampled" false m1.Machine.block_cache;
+  Alcotest.(check bool) "default on is sampled" true m2.Machine.block_cache
+
+let suites =
+  [
+    ( "blocks.differential",
+      qsuite [ prop_differential; prop_differential_traced_digest; prop_self_modifying ]
+    );
+    ( "blocks.invalidation",
+      [
+        Alcotest.test_case "page boundary" `Quick test_page_boundary;
+        Alcotest.test_case "code rewrite" `Quick test_code_rewrite;
+        Alcotest.test_case "page remap" `Quick test_page_remap;
+        Alcotest.test_case "APL revoke mid-run" `Quick test_apl_revoke_midrun;
+        Alcotest.test_case "APL-cache flush mid-run" `Quick
+          test_apl_cache_flush_midrun;
+        Alcotest.test_case "fuel truncation" `Quick test_fuel_truncation;
+        Alcotest.test_case "default toggle" `Quick test_default_toggle;
+      ] );
+  ]
