@@ -13,11 +13,17 @@
      --json  [FILE]     fixed-seed digest suite, machine-readable JSON
      --matrix           fault-injection matrix over every IPC primitive
                         and the OLTP/netpipe workloads
+     --security         cost-of-isolation posture matrix: {strict, audit,
+                        permissive} x {CODOMs, CHERI, MMP} x {clean,
+                        under-attack}, both interpreter paths per cell
 
    Flags (recognised anywhere on the command line):
      --check            attach the online invariant checker to traced runs
      --inject SEED      install a seeded fault injector (same seed =>
                         byte-identical injected digest)
+     --posture NAME     default enforcement posture (strict | audit |
+                        permissive) for machines created by experiments;
+                        pinned digests assume strict
      --jobs N           shard independent runs over N domains (0 = one per
                         recommended core); digests and printed results are
                         identical at any N
@@ -36,6 +42,17 @@ let () =
     | "--no-block-cache" :: rest ->
         Dipc_hw.Machine.set_default_block_cache false;
         extract check inject jobs acc rest
+    | [ "--posture" ] ->
+        Printf.eprintf "--posture needs strict | audit | permissive\n";
+        exit 2
+    | "--posture" :: s :: rest -> (
+        match Dipc_hw.Fault.posture_of_string s with
+        | Some p ->
+            Dipc_hw.Fault.set_default_posture p;
+            extract check inject jobs acc rest
+        | None ->
+            Printf.eprintf "--posture needs strict | audit | permissive, got %S\n" s;
+            exit 2)
     | [ "--inject" ] ->
         Printf.eprintf "--inject needs an integer seed\n";
         exit 2
@@ -70,6 +87,10 @@ let () =
       in
       Printf.printf "fault matrix: %d runs checked, %d faults injected\n%!" runs
         faults
+  | "--security" :: _ ->
+      let results = Suite.security_matrix ~jobs () in
+      Printf.printf "security matrix: %d cells checked on both interpreter paths\n%!"
+        (List.length results)
   | [] ->
       if check || inject_seed <> None then
         (* flags without a mode: run the digest suite under them *)

@@ -1,7 +1,7 @@
 (* Benchmark suite: regenerates every table and figure of the paper's
    evaluation (EuroSys'17, Vilanova et al.).  [bench/main.ml] is the
    command-line driver; this library holds the experiments so the test
-   suite can link them directly (the golden-digest corpus reruns the 13
+   suite can link them directly (the golden-digest corpus reruns the 31
    fixed-seed experiments in dune runtest).
 
    Absolute numbers come from the calibrated simulation substrate (see
@@ -726,7 +726,161 @@ let bench_engine_timerstorm () =
     b_metric = float_of_int steps /. wall;
   }
 
-(* The 13 experiments as independent tasks for the work-queue runner.
+(* ================= cost-of-isolation posture matrix ================= *)
+
+module A = Dipc_workloads.Adversary
+module HwFault = Dipc_hw.Fault
+
+(* {3 postures} x {3 backends} x {clean, under-attack}: what enforcement
+   costs on each architecture, and what each posture does with a hostile
+   load.  Every cell runs its sweep through BOTH interpreter paths
+   (translated-block cache on and off) and fails if the outcome digests
+   or simulated costs diverge — the adversarial counterpart of the
+   test_blocks equivalence property.  Cells carry their posture on the
+   machine/cpu they build (never the global default), so they shard
+   safely across runner domains. *)
+
+let sec_load_attacks backend = function
+  | `Clean -> List.init 8 (fun _ -> A.Benign)
+  | `Attack -> (
+      match backend with
+      | A.Codoms -> A.cross_attacks @ A.machine_attacks
+      | A.Minicheri_b | A.Minimmp_b -> A.cross_attacks)
+
+let sec_name backend posture load =
+  Printf.sprintf "sec_%s_%s_%s" (A.backend_name backend)
+    (HwFault.posture_to_string posture)
+    (match load with `Clean -> "clean" | `Attack -> "attack")
+
+(* Run one cell: both interpreter paths, digest/cost equality enforced. *)
+let sec_run backend posture load =
+  let attacks = sec_load_attacks backend load in
+  let outs_on, cost_on = A.sweep ~block:true ~posture backend attacks in
+  let outs_off, cost_off = A.sweep ~block:false ~posture backend attacks in
+  let d_on = A.digest_outcomes outs_on and d_off = A.digest_outcomes outs_off in
+  if d_on <> d_off || cost_on <> cost_off then
+    failwith
+      (Printf.sprintf
+         "security matrix: %s diverges across interpreter paths: %s/%.1f vs %s/%.1f"
+         (sec_name backend posture load)
+         d_on cost_on d_off cost_off);
+  (outs_on, cost_on, d_on)
+
+let sec_faults outs =
+  List.fold_left
+    (fun n o -> match o with A.Faulted _ -> n + 1 | A.Ran _ | A.Refused _ -> n)
+    0 outs
+
+let sec_audited outs =
+  List.fold_left
+    (fun n o -> match o with A.Ran a -> n + a | A.Faulted _ | A.Refused _ -> n)
+    0 outs
+
+let bench_security backend posture load () =
+  let (outs, cost, digest), wall = timed (fun () -> sec_run backend posture load) in
+  {
+    b_name = sec_name backend posture load;
+    b_wall_s = wall;
+    b_sim_ns = cost;
+    b_events = List.length outs;
+    b_instret = 0;
+    b_digest = digest;
+    b_metric_name = "enforcement_ns";
+    b_metric = cost;
+  }
+
+let sec_backends = [ A.Codoms; A.Minicheri_b; A.Minimmp_b ]
+
+let sec_combos =
+  List.concat_map
+    (fun posture ->
+      List.concat_map
+        (fun backend -> [ (backend, posture, `Clean); (backend, posture, `Attack) ])
+        sec_backends)
+    HwFault.all_postures
+
+let security_tasks () =
+  List.map
+    (fun (b, p, l) -> (sec_name b p l, bench_security b p l))
+    sec_combos
+
+(* The CLI `--security` sweep: every cell sharded over [jobs] domains,
+   verbose lines printed in submission order (stdout byte-identical at
+   any [jobs]), then the cost-of-isolation figure — enforcement cost per
+   backend under each posture, clean vs under-attack. *)
+let security_matrix ?(jobs = 1) () =
+  header
+    "Cost of isolation: {strict, audit, permissive} x {CODOMs, CHERI,\n\
+     MMP} x {clean, under-attack} (both interpreter paths per cell)";
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (b, p, l) ->
+           ( sec_name b p l,
+             fun () ->
+               let outs, cost, digest = sec_run b p l in
+               ( sec_name b p l,
+                 cost,
+                 digest,
+                 sec_faults outs,
+                 sec_audited outs ) ))
+         sec_combos)
+  in
+  let results =
+    Array.to_list (Array.map (fun o -> o.Parallel.o_value) (Parallel.run ~jobs cells))
+  in
+  List.iter
+    (fun (name, cost, digest, faults, audited) ->
+      Printf.printf "  %-28s cost=%9.1f ns  faults=%2d  audited=%2d  digest=%s\n"
+        name cost faults audited digest)
+    results;
+  let find name =
+    let rec go = function
+      | [] -> nan
+      | (n, cost, _, _, _) :: _ when n = name -> cost
+      | _ :: rest -> go rest
+    in
+    go results
+  in
+  let per_scenario b p l =
+    find (sec_name b p l) /. float_of_int (List.length (sec_load_attacks b l))
+  in
+  Printf.printf "\n  cost of isolation per scenario [ns] (clean / under-attack):\n";
+  List.iter
+    (fun p ->
+      Printf.printf "    %-10s" (HwFault.posture_to_string p);
+      List.iter
+        (fun b ->
+          Printf.printf "  %s=%7.1f/%7.1f" (A.backend_name b)
+            (per_scenario b p `Clean) (per_scenario b p `Attack))
+        sec_backends;
+      print_newline ())
+    HwFault.all_postures;
+  Printf.printf
+    "\n  posture premium on a hostile load (total vs strict, ns --\n\
+    \  continuing past downgraded denials costs extra work):\n";
+  List.iter
+    (fun p ->
+      if p <> HwFault.Strict then begin
+        Printf.printf "    %-10s" (HwFault.posture_to_string p);
+        List.iter
+          (fun b ->
+            let d =
+              find (sec_name b p `Attack)
+              -. find (sec_name b HwFault.Strict `Attack)
+            in
+            Printf.printf "  %s=%+9.1f" (A.backend_name b) d)
+          sec_backends;
+        print_newline ()
+      end)
+    HwFault.all_postures;
+  Printf.printf
+    "  (CODOMs faults before paying crossing costs; CHERI pays an\n\
+    \   exception per attempt; MMP pays table writes + flushes)\n%!";
+  results
+
+(* The 13 core experiments plus the 18 security-matrix cells as
+   independent tasks for the work-queue runner.
    Every task builds its own Engine/Trace/Rng/Checker universe, so the
    digests are identical whether the tasks run serially or sharded
    across domains — the property test_parallel.ml pins. *)
@@ -758,6 +912,7 @@ let bench_tasks ?check ?inject_seed () =
     ("machine_hotloop", fun () -> bench_machine_hotloop ());
     ("engine_timerstorm", fun () -> bench_engine_timerstorm ());
   |]
+  |> fun core -> Array.append core (Array.of_list (security_tasks ()))
 
 (* Run the fixed-seed suite, sharded over [jobs] domains (default 1:
    the plain serial path).  Outcomes carry per-run wall/allocation

@@ -70,6 +70,7 @@ let declare_entries t img ~name ?(dom = "default")
   let descs =
     List.map
       (fun (fn, sig_, props) ->
+        let props = Isolation.effective_props ~posture:(System.posture t) props in
         let stub = Isolation.gen_callee_stub ~fn_addr:(function_addr img fn) ~sig_ ~props in
         let stub_addr = Loader.place_program t ~dom:d stub in
         { Entry.e_addr = stub_addr; e_sig = sig_; e_policy = props })
@@ -132,7 +133,7 @@ let resolve t resolver sym =
       let proxy = set.Entry.ps_proxies.(sym.sym_index) in
       let stub =
         Isolation.gen_caller_stub ~proxy_entry:proxy.Entry.p_entry ~sig_:sym.sym_sig
-          ~props:sym.sym_props
+          ~props:(Isolation.effective_props ~posture:(System.posture t) sym.sym_props)
       in
       let addr = Loader.place_program t ~dom:caller_dom stub in
       sym.sym_stub <- Some addr;

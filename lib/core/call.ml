@@ -70,6 +70,7 @@ let unwind t (th : System.thread) ~code =
       | Some p when p.System.alive ->
           (* Resume the caller at this proxy's return path with an error
              flagged (like an errno value). *)
+          t.System.fault_notices <- t.System.fault_notices + 1;
           System.store t (tstruct + Kobj.ts_kcs_top) !top;
           System.store t (tstruct + Kobj.ts_errno) code;
           let d = System.load t (e + Kobj.ke_depth) in

@@ -14,6 +14,15 @@ module Perm = Dipc_hw.Perm
 
 let live_regs = [ 8; 9; 10; 11 ] (* modelled live registers at call sites *)
 
+(* Posture-weakened isolation: the Permissive ("allow") posture drops the
+   user-level isolation sequences entirely — stubs shrink to a bare
+   call/ret — while Strict and Audit keep them (audit still wants the
+   isolation work observable, it only downgrades hardware denials). *)
+let effective_props ~(posture : Dipc_hw.Fault.posture) (p : Types.props) =
+  match posture with
+  | Dipc_hw.Fault.Permissive -> Types.props_none
+  | Dipc_hw.Fault.Strict | Dipc_hw.Fault.Audit -> p
+
 let scr0 = Isa.scratch0
 
 let scr1 = Isa.scratch1

@@ -82,6 +82,9 @@ type t = {
   mutable tls_optimized : bool; (* Sec. 6.1.2 TLS-mode optimization *)
   mutable resolve_warm : int;
   mutable resolve_cold : int;
+  mutable fault_notices : int;
+      (* faults the kernel notified to a calling process (Sec. 5.2.1
+         unwinding) — the kernel-side face of the enforcement posture *)
   proxy_cache : Proxy_cache.t;
       (* Per-system by default so two runner domains never alias one
          cache; experiments that want the paper's build-time sharing pass
@@ -120,8 +123,9 @@ let handle_syscall_ref :
     (t -> Machine.ctx -> int -> unit) ref =
   ref (fun _ _ _ -> ())
 
-let create ?proxy_cache () =
+let create ?proxy_cache ?posture () =
   let machine = Machine.create () in
+  (match posture with Some p -> Machine.set_posture machine p | None -> ());
   let apl = machine.Machine.apl in
   let kernel_tag = Apl.fresh_tag apl in
   let universal_tag = Apl.fresh_tag apl in
@@ -161,6 +165,7 @@ let create ?proxy_cache () =
       tls_optimized = false;
       resolve_warm = 0;
       resolve_cold = 0;
+      fault_notices = 0;
       proxy_cache =
         (match proxy_cache with
         | Some c -> c
@@ -171,6 +176,13 @@ let create ?proxy_cache () =
   t
 
 let machine t = t.machine
+
+(* The system's enforcement posture lives on its machine; flipping it at
+   runtime affects subsequent authorization checks (stubs already placed
+   keep the isolation sequences they were compiled with). *)
+let posture t = t.machine.Machine.posture
+
+let set_posture t p = Machine.set_posture t.machine p
 
 (* --- domain management (Sec. 5.2.2) --- *)
 

@@ -46,3 +46,72 @@ let pp ppf t =
     t.addr
 
 let to_string t = Fmt.str "%a" pp t
+
+(* Stable small code per fault class, for digestable fault summaries
+   (payloads are dropped; the directed suites assert exact kinds).  The
+   numbering is part of the adversarial golden pins: append, never
+   renumber. *)
+let kind_code = function
+  | Unmapped -> 0
+  | No_permission _ -> 1
+  | Not_entry_point -> 2
+  | Exec_violation -> 3
+  | Write_to_readonly -> 4
+  | Privilege_required -> 5
+  | Cap_invalid -> 6
+  | Cap_storage _ -> 7
+  | Dcs_bounds _ -> 8
+  | Apl_cache_miss _ -> 9
+  | Bad_instruction -> 10
+  | Software_trap _ -> 11
+
+(* --- security posture ---
+
+   Baked-in enforcement posture, selecting what a protection unit does
+   with an *authorization* fault — a denial some authority (an APL
+   entry, a capability, the privilege bit) could have granted:
+
+     Strict      fault immediately.  The architectural default; every
+                 pre-existing golden digest is pinned under it.
+     Audit       record the would-be fault (an audit counter, plus a
+                 traced Fault event when tracing) and let the operation
+                 proceed.
+     Permissive  let the operation proceed silently.
+
+   Structural faults — unmapped pages, undecodable instructions, broken
+   capability encodings, DCS bounds, software traps — raise under every
+   posture: there is no defined way to continue past them. *)
+
+type posture = Strict | Audit | Permissive
+
+let all_postures = [ Strict; Audit; Permissive ]
+
+let posture_to_string = function
+  | Strict -> "strict"
+  | Audit -> "audit"
+  | Permissive -> "permissive"
+
+let posture_of_string = function
+  | "strict" -> Some Strict
+  | "audit" -> Some Audit
+  | "permissive" -> Some Permissive
+  | _ -> None
+
+(* Which fault classes a non-strict posture may downgrade. *)
+let downgradeable = function
+  | No_permission _ | Not_entry_point | Exec_violation | Write_to_readonly
+  | Privilege_required | Cap_storage _ ->
+      true
+  | Unmapped | Cap_invalid | Dcs_bounds _ | Apl_cache_miss _ | Bad_instruction
+  | Software_trap _ ->
+      false
+
+(* Process-wide default posture, sampled at machine/model creation (the
+   same pattern as [Machine.default_block_cache]): the CLI flips it
+   before any machine exists.  Atomic because the parallel runner
+   creates machines from several domains. *)
+let default_posture = Atomic.make Strict
+
+let set_default_posture p = Atomic.set default_posture p
+
+let get_default_posture () = Atomic.get default_posture

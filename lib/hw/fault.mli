@@ -24,6 +24,37 @@ val raise_fault : ?addr:int -> pc:int -> kind -> 'a
 
 val kind_to_string : kind -> string
 
+(** Stable small code per fault class (payloads dropped), for digestable
+    fault summaries.  Append-only numbering: it feeds adversarial golden
+    pins. *)
+val kind_code : kind -> int
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+(** Security posture: what a protection unit does with an
+    {e authorization} fault (one some authority could have granted).
+    [Strict] faults immediately (the default — all pre-existing golden
+    digests are pinned under it); [Audit] records the would-be fault and
+    lets the operation proceed; [Permissive] proceeds silently.
+    Structural faults (unmapped pages, bad instructions, broken
+    capability encodings, DCS bounds, software traps) raise under every
+    posture. *)
+type posture = Strict | Audit | Permissive
+
+val all_postures : posture list
+
+val posture_to_string : posture -> string
+
+val posture_of_string : string -> posture option
+
+(** Is this fault class subject to posture downgrade? *)
+val downgradeable : kind -> bool
+
+(** Process-wide default posture, sampled at machine/model creation (the
+    [--posture] CLI escape hatch; same pattern as
+    {!Machine.set_default_block_cache}). *)
+val set_default_posture : posture -> unit
+
+val get_default_posture : unit -> posture

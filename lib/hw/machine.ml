@@ -91,6 +91,13 @@ type t = {
          tracer is off and no injector is installed); false forces the
          reference stepper throughout — the --no-block-cache triage
          escape hatch. *)
+  mutable posture : Fault.posture;
+      (* Enforcement posture for authorization faults: Strict raises
+         (the default), Audit counts + traces the would-be fault and
+         lets the operation proceed, Permissive proceeds silently.
+         Structural faults raise under every posture. *)
+  mutable audited_faults : int;
+      (* Authorization faults downgraded by the Audit posture. *)
 }
 
 exception Out_of_fuel
@@ -130,9 +137,13 @@ let create () =
     tlb_entry = tlb_dummy;
     inject = None;
     block_cache = Atomic.get default_block_cache;
+    posture = Fault.get_default_posture ();
+    audited_faults = 0;
   }
 
 let set_block_cache m v = m.block_cache <- v
+
+let set_posture m p = m.posture <- p
 
 (* Page-table lookup through the one-entry translation cache: straight-line
    fetch/load/store into a warm page skips the page-table Hashtbl.  Entries
@@ -200,6 +211,21 @@ let charge_as m ctx category ns =
     Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag ~cat:category
       ~dur:ns Trace.Charge
 
+(* Posture-mediated denial.  Strict raises (the pre-posture behaviour,
+   byte-identical digests); Audit counts the would-be fault — and, when
+   tracing, emits the Fault event the strict machine would have — then
+   lets the caller continue; Permissive continues silently.  Structural
+   faults ([Fault.downgradeable] = false) raise under every posture. *)
+let deny m ctx ?addr ~pc kind =
+  if m.posture = Fault.Strict || not (Fault.downgradeable kind) then
+    Fault.raise_fault ?addr ~pc kind
+  else if m.posture = Fault.Audit then begin
+    m.audited_faults <- m.audited_faults + 1;
+    if Trace.enabled m.tracer then
+      Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag ~arg:pc
+        Trace.Fault
+  end
+
 (* --- capability validity (Sec. 4.2) --- *)
 
 let cap_valid m ctx (cap : Capability.t) =
@@ -217,66 +243,97 @@ let page_allows (page : Page_table.page) (perm : Perm.t) =
   | Perm.Read -> page.readable
   | Perm.Call | Perm.Nil -> page.readable
 
+(* Audit trail behind a granted (or posture-downgraded) data access, for
+   the checker's isolation invariants.  [Xtag_access] records the
+   authority carrying a cross-tag access: 2 = APL, 1 = capability, 3 =
+   allowed by a non-strict posture.  Code 0 ("no authority at all") is
+   never emitted — the machine denies instead — so its appearance in a
+   stream is itself the violation the checker looks for.  A capability
+   grant additionally records [Cap_use] with the stamp the capability
+   was minted under, which the checker replays against observed
+   [Cap_revoke] events (revocation completeness). *)
+let trace_authority m ctx ~(page : Page_table.page) ~apl_ok ~cap =
+  if page.tag <> ctx.cur_tag then begin
+    let code = if apl_ok then 2 else if cap <> None then 1 else 3 in
+    Trace.emit m.tracer ~ts:ctx.cost ~cpu:code ~tid:ctx.id ~tag:page.tag
+      ~arg:ctx.cur_tag Trace.Xtag_access
+  end;
+  match cap with
+  | Some
+      {
+        Capability.scope = Capability.Asynchronous { owner_tag; counter; value };
+        _;
+      } ->
+      Trace.emit m.tracer ~ts:ctx.cost ~cpu:value ~tid:ctx.id ~tag:owner_tag
+        ~arg:counter Trace.Cap_use
+  | _ -> ()
+
 (* Check that [ctx] may access [len] bytes at [addr] with [perm]; data
    accesses are satisfied by the APL of the current domain or by any of the
    8 capability registers (Sec. 4.2). *)
 let check_data m ctx ~addr ~len ~perm =
   let page = find_page m ~pc:ctx.pc addr in
   if page.cap_store then
-    Fault.raise_fault ~pc:ctx.pc ~addr
+    deny m ctx ~pc:ctx.pc ~addr
       (Fault.Cap_storage "regular access to a capability-storage page");
   let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
+  let apl_ok = Perm.includes apl_perm perm in
+  let granted = ref None in
   let allowed =
-    if Perm.includes apl_perm perm then true
-    else begin
-      let ok = ref false in
-      for i = 0 to Isa.num_cregs - 1 do
-        match ctx.cregs.(i) with
-        | Some cap
-          when (not !ok)
-               && cap_valid m ctx cap
-               && Capability.covers cap ~addr ~len
-               && Capability.grants cap perm ->
-            ok := true
-        | Some _ | None -> ()
-      done;
-      !ok
-    end
+    apl_ok
+    || begin
+         for i = 0 to Isa.num_cregs - 1 do
+           match ctx.cregs.(i) with
+           | Some cap
+             when !granted = None
+                  && cap_valid m ctx cap
+                  && Capability.covers cap ~addr ~len
+                  && Capability.grants cap perm ->
+               granted := Some cap
+           | Some _ | None -> ()
+         done;
+         !granted <> None
+       end
   in
-  if not allowed then Fault.raise_fault ~pc:ctx.pc ~addr (Fault.No_permission perm);
+  if not allowed then deny m ctx ~pc:ctx.pc ~addr (Fault.No_permission perm);
+  if Trace.enabled m.tracer then
+    trace_authority m ctx ~page ~apl_ok ~cap:!granted;
   (* CODOMs honors the per-page protection bits (Sec. 4.1). *)
   if not (page_allows page perm) then begin
     if Perm.includes perm Perm.Write then
-      Fault.raise_fault ~pc:ctx.pc ~addr Fault.Write_to_readonly
-    else Fault.raise_fault ~pc:ctx.pc ~addr (Fault.No_permission perm)
+      deny m ctx ~pc:ctx.pc ~addr Fault.Write_to_readonly
+    else deny m ctx ~pc:ctx.pc ~addr (Fault.No_permission perm)
   end
 
 let check_cap_page m ctx ~addr ~perm =
   let page = find_page m ~pc:ctx.pc addr in
   if not page.cap_store then
-    Fault.raise_fault ~pc:ctx.pc ~addr
+    deny m ctx ~pc:ctx.pc ~addr
       (Fault.Cap_storage "capability access to a regular page");
   let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
+  let apl_ok = Perm.includes apl_perm perm in
+  let granted = ref None in
   let allowed =
-    Perm.includes apl_perm perm
+    apl_ok
     || begin
-         let ok = ref false in
          for i = 0 to Isa.num_cregs - 1 do
            match ctx.cregs.(i) with
            | Some cap
-             when (not !ok)
+             when !granted = None
                   && cap_valid m ctx cap
                   && Capability.covers cap ~addr ~len:Layout.cap_bytes
                   && Capability.grants cap perm ->
-               ok := true
+               granted := Some cap
            | Some _ | None -> ()
          done;
-         !ok
+         !granted <> None
        end
   in
-  if not allowed then Fault.raise_fault ~pc:ctx.pc ~addr (Fault.No_permission perm);
+  if not allowed then deny m ctx ~pc:ctx.pc ~addr (Fault.No_permission perm);
+  if Trace.enabled m.tracer then
+    trace_authority m ctx ~page ~apl_ok ~cap:!granted;
   if not (page_allows page perm) then
-    Fault.raise_fault ~pc:ctx.pc ~addr Fault.Write_to_readonly
+    deny m ctx ~pc:ctx.pc ~addr Fault.Write_to_readonly
 
 (* --- control transfer checks (Sec. 4.1) --- *)
 
@@ -284,26 +341,43 @@ let check_cap_page m ctx ~addr ~perm =
    executed instruction.  [ctx.cur_tag] is still the *source* domain. *)
 let check_transfer m ctx target =
   let page = find_page m ~pc:target target in
-  if not page.executable then Fault.raise_fault ~pc:target Fault.Exec_violation;
+  if not page.executable then deny m ctx ~pc:target Fault.Exec_violation;
   let new_tag = page.tag in
   if new_tag <> ctx.cur_tag && ctx.cur_tag <> -1 then begin
     let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:new_tag in
     let aligned = Layout.is_aligned target Layout.entry_align in
     let best = ref apl_perm in
+    let best_cap = ref None in
     for i = 0 to Isa.num_cregs - 1 do
       match ctx.cregs.(i) with
       | Some cap
         when cap_valid m ctx cap
              && Capability.covers cap ~addr:target ~len:Isa.instr_bytes ->
-          if Perm.rank cap.perm > Perm.rank !best then best := cap.perm
+          if Perm.rank cap.perm > Perm.rank !best then begin
+            best := cap.perm;
+            best_cap := Some cap
+          end
       | Some _ | None -> ()
     done;
     (match !best with
     | Perm.Read | Perm.Write | Perm.Owner -> ()
     | Perm.Call ->
         (* Call permission only enters through aligned entry points. *)
-        if not aligned then Fault.raise_fault ~pc:target Fault.Not_entry_point
-    | Perm.Nil -> Fault.raise_fault ~pc:target (Fault.No_permission Perm.Call));
+        if not aligned then deny m ctx ~pc:target Fault.Not_entry_point
+    | Perm.Nil -> deny m ctx ~pc:target (Fault.No_permission Perm.Call));
+    (* A crossing carried by an asynchronous capability leaves the same
+       audit record as a capability-granted data access. *)
+    (if Trace.enabled m.tracer then
+       match !best_cap with
+       | Some
+           {
+             Capability.scope =
+               Capability.Asynchronous { owner_tag; counter; value };
+             _;
+           } ->
+           Trace.emit m.tracer ~ts:ctx.cost ~cpu:value ~tid:ctx.id
+             ~tag:owner_tag ~arg:counter Trace.Cap_use
+       | _ -> ());
     if Trace.enabled m.tracer then
       Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:new_tag ~arg:ctx.cur_tag
         Trace.Domain_cross;
@@ -339,8 +413,16 @@ let check_transfer m ctx target =
   ctx.cur_page <- Layout.page_of target;
   ctx.priv <- page.priv_cap
 
-let require_priv ctx =
-  if not ctx.priv then Fault.raise_fault ~pc:ctx.pc Fault.Privilege_required
+(* Privileged-instruction gate.  On retirement (priv held, or past a
+   posture downgrade) the audit record carries the authority in [cpu]:
+   1 = the priv_cap bit, 2 = posture override.  Code 0 ("retired with no
+   authority") is never emitted — the checker treats it as a violation. *)
+let require_priv m ctx =
+  if not ctx.priv then deny m ctx ~pc:ctx.pc Fault.Privilege_required;
+  if Trace.enabled m.tracer then
+    Trace.emit m.tracer ~ts:ctx.cost
+      ~cpu:(if ctx.priv then 1 else 2)
+      ~tid:ctx.id ~tag:ctx.cur_tag ~arg:ctx.pc Trace.Priv_op
 
 (* --- frame tracking for synchronous capabilities --- *)
 
@@ -387,7 +469,7 @@ let derive_from_apl m ctx ~pc ~base ~len ~perm =
     let page = find_page m ~pc addr in
     let granted = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
     if not (Perm.includes granted perm) then
-      Fault.raise_fault ~pc ~addr (Fault.No_permission perm)
+      deny m ctx ~pc ~addr (Fault.No_permission perm)
   done;
   {
     Capability.base;
@@ -490,11 +572,11 @@ let exec_instr m ctx instr ~pc ~next =
         Memory.store_word m.mem addr (reg ctx s);
         ctx.pc <- next
     | Isa.RdTp r ->
-        require_priv ctx;
+        require_priv m ctx;
         set_reg ctx r ctx.tp;
         ctx.pc <- next
     | Isa.RdDepth r ->
-        require_priv ctx;
+        require_priv m ctx;
         set_reg ctx r ctx.depth;
         ctx.pc <- next
     | Isa.WrFsBase r ->
@@ -504,7 +586,7 @@ let exec_instr m ctx instr ~pc ~next =
         set_reg ctx r ctx.fsbase;
         ctx.pc <- next
     | Isa.GetHwTag (d, s) -> begin
-        require_priv ctx;
+        require_priv m ctx;
         match Apl_cache.lookup ctx.apl_cache (reg ctx s) with
         | Some hw ->
             set_reg ctx d hw;
@@ -548,8 +630,12 @@ let exec_instr m ctx instr ~pc ~next =
             };
         ctx.pc <- next
     | Isa.CapRevoke rctr ->
-        Capability.Revocation.revoke m.revocation ~tag:ctx.cur_tag
-          ~counter:(reg ctx rctr);
+        let counter = reg ctx rctr in
+        Capability.Revocation.revoke m.revocation ~tag:ctx.cur_tag ~counter;
+        if Trace.enabled m.tracer then
+          Trace.emit m.tracer ~ts:ctx.cost
+            ~cpu:(Capability.Revocation.value m.revocation ~tag:ctx.cur_tag ~counter)
+            ~tid:ctx.id ~tag:ctx.cur_tag ~arg:counter Trace.Cap_revoke;
         ctx.pc <- next
     | Isa.CapClear c ->
         ctx.cregs.(c) <- None;
@@ -584,22 +670,22 @@ let exec_instr m ctx instr ~pc ~next =
         set_reg ctx r (Dcs.depth ctx.dcs);
         ctx.pc <- next
     | Isa.DcsGetBase r ->
-        require_priv ctx;
+        require_priv m ctx;
         set_reg ctx r (Dcs.base ctx.dcs);
         ctx.pc <- next
     | Isa.DcsSetBase r ->
-        require_priv ctx;
+        require_priv m ctx;
         Dcs.set_base ctx.dcs ~pc (reg ctx r);
         ctx.pc <- next
     | Isa.DcsSwitch r ->
-        require_priv ctx;
+        require_priv m ctx;
         ctx.dcs_saved <- Dcs.switch ctx.dcs ~pc ~args:(reg ctx r) :: ctx.dcs_saved;
         if Trace.enabled m.tracer then
           Trace.emit m.tracer ~ts:ctx.cost ~tid:ctx.id ~tag:ctx.cur_tag
             ~arg:(Dcs.depth ctx.dcs) Trace.Dcs_adjust;
         ctx.pc <- next
     | Isa.DcsRestore r -> begin
-        require_priv ctx;
+        require_priv m ctx;
         match ctx.dcs_saved with
         | saved :: rest ->
             Dcs.restore ctx.dcs ~pc ~rets:(reg ctx r) saved;

@@ -59,6 +59,11 @@ type t = {
       (** [run] uses translated-block dispatch when true (default); the
           tracer being enabled or an injector being installed overrides
           this per run.  See {!set_block_cache}. *)
+  mutable posture : Fault.posture;
+      (** enforcement posture for authorization faults (sampled from
+          {!Fault.get_default_posture} at creation); see {!set_posture} *)
+  mutable audited_faults : int;
+      (** authorization faults downgraded by the [Audit] posture *)
 }
 
 exception Out_of_fuel
@@ -67,6 +72,16 @@ val create : unit -> t
 
 (** Enable/disable translated-block dispatch on one machine. *)
 val set_block_cache : t -> bool -> unit
+
+(** Select the enforcement posture for authorization faults (those some
+    authority could have granted): [Strict] raises — the default, under
+    which every pre-existing golden digest is pinned; [Audit] counts the
+    would-be fault in [audited_faults] (and emits a traced Fault event)
+    before letting the operation proceed; [Permissive] proceeds
+    silently.  Structural faults — unmapped pages, bad instructions,
+    broken capability encodings, DCS bounds — raise under every
+    posture. *)
+val set_posture : t -> Fault.posture -> unit
 
 (** Process-wide default for {!create} (sampled at machine creation):
     the [--no-block-cache] escape hatch for experiment code that builds

@@ -47,9 +47,19 @@ type cpu = {
   mutable idc : cap; (* invoked data capability *)
   mutable trusted_stack : (cap * cap) list;
   mutable exceptions : int; (* every crossing traps *)
+  mutable posture : Fault.posture; (* enforcement posture, as Machine *)
+  mutable audited : int; (* denials downgraded by the Audit posture *)
 }
 
-let cpu ~pcc ~idc = { pcc; idc; trusted_stack = []; exceptions = 0 }
+let cpu ~pcc ~idc =
+  {
+    pcc;
+    idc;
+    trusted_stack = [];
+    exceptions = 0;
+    posture = Fault.get_default_posture ();
+    audited = 0;
+  }
 
 (* Sealed capabilities confer no memory authority until unsealed. *)
 let can_access c ~addr =
@@ -84,3 +94,75 @@ let creturn cpu =
 let crossing_cost_ns = 400.0
 
 let round_trip_cost_ns = 2. *. crossing_cost_ns
+
+(* --- structured fault API ---
+
+   The [_at] variants report denials as {!Fault.t} values carrying the
+   same fault kind and the same canonical faulting pc the CODOMs machine
+   would raise for the equivalent attack, so the adversarial differential
+   suites can compare outcomes across backends without per-backend
+   special-casing.  They also honour the enforcement posture: a
+   downgradeable denial under Audit is counted (and the operation
+   proceeds); under Permissive it proceeds silently.  Structural faults
+   (broken encodings, trusted-stack underflow) deny under every
+   posture. *)
+
+let denied cpu ?addr ~pc kind =
+  if cpu.posture = Fault.Strict || not (Fault.downgradeable kind) then
+    Error { Fault.kind; pc; addr }
+  else begin
+    if cpu.posture = Fault.Audit then cpu.audited <- cpu.audited + 1;
+    Ok ()
+  end
+
+(* CCall with structured faults: a mismatched otype pair is a forged
+   entry descriptor (No_permission Call, as a CODOMs call the APL denies);
+   an unsealed operand is not a legal entry point; non-executable code is
+   an exec violation.  A posture downgrade force-unseals and crosses
+   anyway, mirroring the CODOMs machine letting a denied transfer
+   retire. *)
+let ccall_at cpu ~pc domain =
+  cpu.exceptions <- cpu.exceptions + 1;
+  let go () =
+    cpu.trusted_stack <- (cpu.pcc, cpu.idc) :: cpu.trusted_stack;
+    cpu.pcc <- { domain.d_code with c_sealed = None };
+    cpu.idc <- { domain.d_data with c_sealed = None };
+    Ok ()
+  in
+  let gated kind = match denied cpu ~pc kind with
+    | Error _ as e -> e
+    | Ok () -> go ()
+  in
+  match (domain.d_code.c_sealed, domain.d_data.c_sealed) with
+  | Some a, Some b when a = b && a = domain.d_otype ->
+      if domain.d_code.c_perm <> Exec then gated Fault.Exec_violation
+      else go ()
+  | Some _, Some _ -> gated (Fault.No_permission Perm.Call)
+  | _ -> gated Fault.Not_entry_point
+
+(* CReturn with structured faults: popping an empty trusted stack is the
+   CHERI image of a DCS underflow — structural, denied under every
+   posture. *)
+let creturn_at cpu ~pc =
+  cpu.exceptions <- cpu.exceptions + 1;
+  match cpu.trusted_stack with
+  | (pcc, idc) :: rest ->
+      cpu.pcc <- pcc;
+      cpu.idc <- idc;
+      cpu.trusted_stack <- rest;
+      Ok ()
+  | [] -> denied cpu ~pc (Fault.Dcs_bounds "trusted stack empty")
+
+(* Data access through a capability: sealed or out-of-bounds accesses are
+   permission denials ([perm] names the attempted access, as the CODOMs
+   machine's [No_permission] payload does). *)
+let access_at cpu c ~pc ~addr ~perm =
+  if can_access c ~addr then Ok ()
+  else denied cpu ~addr ~pc (Fault.No_permission perm)
+
+(* Sealing under an authority that does not cover the otype forges a
+   capability: Cap_invalid, structural under every posture. *)
+let seal_at ~authority ~otype ~pc c =
+  match seal ~authority ~otype c with
+  | Ok c -> Ok c
+  | Error _ -> Error { Fault.kind = Fault.Cap_invalid; pc; addr = None }

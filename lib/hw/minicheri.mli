@@ -23,6 +23,10 @@ type cpu = {
   mutable idc : cap;
   mutable trusted_stack : (cap * cap) list;
   mutable exceptions : int;  (** every crossing traps *)
+  mutable posture : Fault.posture;
+      (** enforcement posture (sampled from
+          {!Fault.get_default_posture} at creation) *)
+  mutable audited : int;  (** denials downgraded by the [Audit] posture *)
 }
 
 val cpu : pcc:cap -> idc:cap -> cpu
@@ -38,3 +42,29 @@ val creturn : cpu -> (unit, string) result
 val crossing_cost_ns : float
 
 val round_trip_cost_ns : float
+
+(** {2 Structured fault API}
+
+    The [_at] variants report denials as {!Fault.t} values carrying the
+    same fault kind and the caller-supplied canonical faulting pc the
+    CODOMs machine would raise for the equivalent attack, and honour the
+    enforcement posture (downgradeable denials proceed under
+    [Audit]/[Permissive]; structural ones deny under every posture). *)
+
+(** CCall: otype-mismatched pair → [No_permission Call]; unsealed
+    operand → [Not_entry_point]; non-executable code → [Exec_violation].
+    Posture downgrades force-unseal and cross anyway. *)
+val ccall_at : cpu -> pc:int -> domain -> (unit, Fault.t) result
+
+(** CReturn: empty trusted stack → [Dcs_bounds] (structural). *)
+val creturn_at : cpu -> pc:int -> (unit, Fault.t) result
+
+(** Data access through [cap]: sealed or out-of-bounds →
+    [No_permission perm]. *)
+val access_at :
+  cpu -> cap -> pc:int -> addr:int -> perm:Perm.t -> (unit, Fault.t) result
+
+(** Sealing under an authority not covering the otype → [Cap_invalid]
+    (structural under every posture, hence no [cpu]). *)
+val seal_at :
+  authority:cap -> otype:int -> pc:int -> cap -> (cap, Fault.t) result

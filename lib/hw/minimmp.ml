@@ -56,6 +56,8 @@ type cpu = {
   domains : (int, pd) Hashtbl.t;
   mutable cross_stack : int list; (* return-gate discipline *)
   mutable pipeline_flushes : int;
+  mutable posture : Fault.posture; (* enforcement posture, as Machine *)
+  mutable audited : int; (* denials downgraded by the Audit posture *)
 }
 
 let cpu ~initial =
@@ -66,6 +68,8 @@ let cpu ~initial =
       domains = Hashtbl.create 8;
       cross_stack = [];
       pipeline_flushes = 0;
+      posture = Fault.get_default_posture ();
+      audited = 0;
     }
   in
   Hashtbl.replace t.domains initial.pd_id initial;
@@ -114,3 +118,65 @@ let table_write_cost_ns = 120.0 (* privileged write + PLB invalidate *)
 let share_cost_ns ~bytes =
   let pages = max 1 ((bytes + 4095) / 4096) in
   float_of_int pages *. table_write_cost_ns
+
+(* --- structured fault API ---
+
+   Same contract as Minicheri's [_at] variants: denials become {!Fault.t}
+   values carrying the fault kind and canonical pc the CODOMs machine
+   raises for the equivalent attack, with posture downgrades letting
+   downgradeable denials retire (counted under Audit). *)
+
+let denied cpu ?addr ~pc kind =
+  if cpu.posture = Fault.Strict || not (Fault.downgradeable kind) then
+    Error { Fault.kind; pc; addr }
+  else begin
+    if cpu.posture = Fault.Audit then cpu.audited <- cpu.audited + 1;
+    Ok ()
+  end
+
+(* Gate call: a non-gate address is not a legal entry point (a downgrade
+   lets the jump retire without a domain switch — there is no target
+   table to switch to); a gate used from the wrong source domain is a
+   call-permission denial (a downgrade crosses anyway); a gate whose
+   target domain is gone is a dangling descriptor — forged-capability
+   territory, structural under every posture. *)
+let call_gate_at cpu ~pc ~addr =
+  match Hashtbl.find_opt cpu.gates addr with
+  | None -> denied cpu ~addr ~pc Fault.Not_entry_point
+  | Some g ->
+      let go () =
+        match Hashtbl.find_opt cpu.domains g.g_to with
+        | None -> Error { Fault.kind = Fault.Cap_invalid; pc; addr = Some addr }
+        | Some target ->
+            cpu.pipeline_flushes <- cpu.pipeline_flushes + 1;
+            cpu.cross_stack <- g.g_from :: cpu.cross_stack;
+            cpu.current <- target;
+            Ok ()
+      in
+      if g.g_from <> cpu.current.pd_id then
+        match denied cpu ~addr ~pc (Fault.No_permission Perm.Call) with
+        | Error _ as e -> e
+        | Ok () -> go ()
+      else go ()
+
+(* Gate return: an empty cross stack is the MMP image of a DCS underflow
+   — structural, denied under every posture. *)
+let return_gate_at cpu ~pc =
+  match cpu.cross_stack with
+  | caller :: rest -> begin
+      match Hashtbl.find_opt cpu.domains caller with
+      | None -> Error { Fault.kind = Fault.Cap_invalid; pc; addr = None }
+      | Some pd ->
+          cpu.pipeline_flushes <- cpu.pipeline_flushes + 1;
+          cpu.cross_stack <- rest;
+          cpu.current <- pd;
+          Ok ()
+    end
+  | [] -> denied cpu ~pc (Fault.Dcs_bounds "no crossing to return from")
+
+(* Data access against the current domain's permission table.  [perm]
+   names the attempted access in the machine's vocabulary for the
+   [No_permission] payload; [needed] is the table-side permission. *)
+let access_at cpu ~pc ~addr ~needed ~perm =
+  if can_access cpu.current ~addr ~perm:needed then Ok ()
+  else denied cpu ~addr ~pc (Fault.No_permission perm)

@@ -29,6 +29,10 @@ type cpu = {
   domains : (int, pd) Hashtbl.t;
   mutable cross_stack : int list;
   mutable pipeline_flushes : int;
+  mutable posture : Fault.posture;
+      (** enforcement posture (sampled from
+          {!Fault.get_default_posture} at creation) *)
+  mutable audited : int;  (** denials downgraded by the [Audit] posture *)
 }
 
 and gate = { g_addr : int; g_from : int; g_to : int }
@@ -50,3 +54,24 @@ val table_write_cost_ns : float
 
 (** Bulk-data sharing: one table entry per page-sized chunk. *)
 val share_cost_ns : bytes:int -> float
+
+(** {2 Structured fault API}
+
+    Denials become {!Fault.t} values with the fault kind and canonical
+    pc the CODOMs machine raises for the equivalent attack; posture
+    downgrades let downgradeable denials retire. *)
+
+(** Gate call: non-gate address → [Not_entry_point]; wrong source
+    domain → [No_permission Call]; dangling target domain →
+    [Cap_invalid] (structural). *)
+val call_gate_at : cpu -> pc:int -> addr:int -> (unit, Fault.t) result
+
+(** Gate return: empty cross stack → [Dcs_bounds] (structural). *)
+val return_gate_at : cpu -> pc:int -> (unit, Fault.t) result
+
+(** Data access against the current domain's table: denial →
+    [No_permission perm] ([needed] is the table-side permission, [perm]
+    the machine-vocabulary payload). *)
+val access_at :
+  cpu -> pc:int -> addr:int -> needed:perm -> perm:Perm.t ->
+  (unit, Fault.t) result

@@ -37,7 +37,19 @@
      depth differs from its depth when the matching call crossing
      entered the domain (Sec. 5.2.3's integrity discipline).
    - "charge-conservation": at finish, per-category charge-event totals
-     must equal the kernel's lifetime [Breakdown] totals. *)
+     must equal the kernel's lifetime [Breakdown] totals.
+   - "xtag-no-authority":  an [Xtag_access] (data access crossing a tag
+     boundary) whose authority code says nothing granted it — neither an
+     APL entry, nor a capability, nor an explicit posture downgrade.
+     The machine never emits code 0, so this only trips on corrupted
+     streams or a protection-check bug.
+   - "priv-outside-kernel": a [Priv_op] whose authority code says the
+     executing page held no privileged-capability bit and no posture
+     override applied.
+   - "revocation-completeness": a [Cap_use] exercising an asynchronous
+     capability whose creation-stamped revocation value is older than
+     the latest [Cap_revoke] observed for that (owner tag, counter) —
+     i.e. a revoked capability that still conferred authority. *)
 
 type violation = {
   v_invariant : string;
@@ -73,6 +85,8 @@ type t = {
   cross : (int, (int * int) Stack.t) Hashtbl.t;
       (* ctx/tid -> stack of (origin tag, DCS depth at entry) *)
   charges : Breakdown.t; (* per-category sum of all Charge events *)
+  revoked : (int * int, int) Hashtbl.t;
+      (* (owner tag, counter) -> latest post-revoke table value *)
 }
 
 let create ?(window = 16) () =
@@ -89,6 +103,7 @@ let create ?(window = 16) () =
     dcs_depth = Hashtbl.create 16;
     cross = Hashtbl.create 16;
     charges = Breakdown.create ();
+    revoked = Hashtbl.create 16;
   }
 
 let events_seen t = t.seen
@@ -213,6 +228,40 @@ let on_cross t (ev : Trace.event) =
              ev.e_tid ev.e_arg ev.e_tag depth entry_depth)
   | _ -> Stack.push (ev.e_arg, depth) stack
 
+(* Isolation invariants over the machine's protection-event stream.  The
+   machine stamps a non-zero authority code on every [Xtag_access] /
+   [Priv_op] it lets retire (1 = capability, 2 = APL / priv bit, 3 =
+   posture downgrade), so code 0 marks an access nothing granted: a
+   corrupted stream or a protection-check bug, never a clean run. *)
+let on_xtag t (ev : Trace.event) =
+  if ev.e_cpu = 0 then
+    fail t "xtag-no-authority"
+      (Fmt.str "ctx %d: tag %d reached tag %d data with no granting authority"
+         ev.e_tid ev.e_arg ev.e_tag)
+
+let on_priv t (ev : Trace.event) =
+  if ev.e_cpu = 0 then
+    fail t "priv-outside-kernel"
+      (Fmt.str
+         "ctx %d retired a privileged op at pc=0x%x without the priv bit"
+         ev.e_tid ev.e_arg)
+
+(* Revocation completeness: once a [Cap_revoke] bumps (owner tag,
+   counter) to value v, no later [Cap_use] may carry a creation stamp
+   below v — such a capability was revoked before it was exercised. *)
+let on_cap_revoke t (ev : Trace.event) =
+  Hashtbl.replace t.revoked (ev.e_tag, ev.e_arg) ev.e_cpu
+
+let on_cap_use t (ev : Trace.event) =
+  match Hashtbl.find_opt t.revoked (ev.e_tag, ev.e_arg) with
+  | Some v when ev.e_cpu < v ->
+      fail t "revocation-completeness"
+        (Fmt.str
+           "ctx %d exercised capability (tag %d, counter %d) stamped %d \
+            after revocation bumped it to %d"
+           ev.e_tid ev.e_tag ev.e_arg ev.e_cpu v)
+  | _ -> ()
+
 let on_event t (ev : Trace.event) =
   t.seen <- t.seen + 1;
   Queue.add ev t.window;
@@ -220,7 +269,8 @@ let on_event t (ev : Trace.event) =
   (match ev.e_kind with
   | Trace.Sched | Trace.Spawn
   | Trace.Fault | Trace.Domain_cross
-  | Trace.Dcs_push | Trace.Dcs_pop | Trace.Dcs_adjust ->
+  | Trace.Dcs_push | Trace.Dcs_pop | Trace.Dcs_adjust
+  | Trace.Xtag_access | Trace.Priv_op | Trace.Cap_revoke | Trace.Cap_use ->
       () (* future-stamped queue events / per-ctx cost clocks *)
   | Trace.Resume | Trace.Suspend | Trace.Ctxsw | Trace.Ipi | Trace.Syscall
   | Trace.Charge ->
@@ -239,6 +289,10 @@ let on_event t (ev : Trace.event) =
   | Trace.Charge -> on_charge t ev
   | Trace.Dcs_push | Trace.Dcs_pop | Trace.Dcs_adjust -> dcs_event t ev
   | Trace.Domain_cross -> on_cross t ev
+  | Trace.Xtag_access -> on_xtag t ev
+  | Trace.Priv_op -> on_priv t ev
+  | Trace.Cap_revoke -> on_cap_revoke t ev
+  | Trace.Cap_use -> on_cap_use t ev
   | Trace.Sched | Trace.Spawn | Trace.Ipi | Trace.Syscall | Trace.Fault -> ()
 
 let attach t trace = Trace.set_sink trace (Some (on_event t))

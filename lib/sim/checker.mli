@@ -10,8 +10,13 @@
     ["double-resume"], ["lost-wakeup"], ["duplicate-switch"],
     ["switch-mismatch"], ["charge-misattribution"], ["two-cpu-overlap"],
     ["dcs-underflow"], ["dcs-imbalance"], ["dcs-crossing-imbalance"],
-    ["charge-conservation"].  See [checker.ml] for the catalogue with
-    definitions. *)
+    ["charge-conservation"], and the isolation invariants
+    ["xtag-no-authority"] (a cross-tag data access carrying authority
+    code 0 — nothing granted it), ["priv-outside-kernel"] (a privileged
+    op retired without the priv bit or a posture override) and
+    ["revocation-completeness"] (an asynchronous capability exercised
+    after a [Cap_revoke] outdated its creation stamp).  See [checker.ml]
+    for the catalogue with definitions. *)
 
 type violation = {
   v_invariant : string;  (** which invariant, from the catalogue above *)

@@ -24,13 +24,17 @@ type kind =
   | Dcs_push
   | Dcs_pop
   | Dcs_adjust
+  | Xtag_access
+  | Priv_op
+  | Cap_revoke
+  | Cap_use
 
 (* New kinds must be appended, never inserted: [kind_index] feeds the
    replay digest, so renumbering an existing kind shifts every pinned
    golden digest. *)
 let all_kinds =
   [ Sched; Spawn; Resume; Suspend; Ctxsw; Ipi; Syscall; Domain_cross; Fault; Charge
-  ; Dcs_push; Dcs_pop; Dcs_adjust ]
+  ; Dcs_push; Dcs_pop; Dcs_adjust; Xtag_access; Priv_op; Cap_revoke; Cap_use ]
 
 let kind_index = function
   | Sched -> 0
@@ -46,6 +50,10 @@ let kind_index = function
   | Dcs_push -> 10
   | Dcs_pop -> 11
   | Dcs_adjust -> 12
+  | Xtag_access -> 13
+  | Priv_op -> 14
+  | Cap_revoke -> 15
+  | Cap_use -> 16
 
 let kind_name = function
   | Sched -> "sched"
@@ -61,6 +69,10 @@ let kind_name = function
   | Dcs_push -> "dcs-push"
   | Dcs_pop -> "dcs-pop"
   | Dcs_adjust -> "dcs-adjust"
+  | Xtag_access -> "xtag-access"
+  | Priv_op -> "priv-op"
+  | Cap_revoke -> "cap-revoke"
+  | Cap_use -> "cap-use"
 
 let kind_of_index i = List.nth all_kinds i
 

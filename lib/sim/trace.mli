@@ -29,6 +29,24 @@ type kind =
   | Dcs_adjust
       (** a DCS switch/restore re-based the stack ([arg] = resulting
           depth) — depth may jump by more than one *)
+  | Xtag_access
+      (** data access crossing a tag boundary ([tag] = destination page's
+          tag, [arg] = accessor's tag, [cpu] = authority code: 1 = held
+          capability, 2 = APL grant, 3 = posture downgrade let an
+          unauthorized access retire.  Code 0 ("no authority") is never
+          machine-emitted — the checker flags it *)
+  | Priv_op
+      (** a privileged instruction executed ([cpu] = authority code: 1 =
+          the context held the priv bit, 2 = posture downgrade; 0 is
+          never machine-emitted — the checker flags it; [arg] = pc) *)
+  | Cap_revoke
+      (** an asynchronous capability revocation ([tag] = owner tag,
+          [arg] = revocation counter, [cpu] = table value after the
+          bump) *)
+  | Cap_use
+      (** an asynchronous capability was exercised ([tag] = owner tag,
+          [arg] = revocation counter, [cpu] = value stamped at
+          creation) *)
 
 val kind_name : kind -> string
 

@@ -117,6 +117,68 @@ let test_charge_conservation () =
          Breakdown.charge expect Breakdown.Kernel 50.;
          Checker.finish ~expect chk))
 
+(* --- isolation invariants (adversarial suite, PR 6) --- *)
+
+let test_xtag_without_authority () =
+  (* Mutation: a cross-tag data access whose authority code was zeroed —
+     the machine never emits code 0 (every retired access is backed by a
+     capability, an APL grant, or an explicit posture downgrade). *)
+  let v =
+    expect_violation "xtag-no-authority" (fun tr _ ->
+        Trace.emit tr ~ts:1. ~tid:4 ~tag:20 ~arg:10 ~cpu:0 Trace.Xtag_access)
+  in
+  Alcotest.(check int) "offender index" 0 v.Checker.v_index;
+  match List.rev v.Checker.v_window with
+  | offender :: _ ->
+      Alcotest.(check bool) "window ends at the unbacked access" true
+        (offender.Trace.e_kind = Trace.Xtag_access && offender.Trace.e_tag = 20)
+  | [] -> Alcotest.fail "empty violation window"
+
+let test_priv_outside_kernel () =
+  (* Mutation: a privileged op retiring without the privilege bit or a
+     posture override (authority code 0). *)
+  let v =
+    expect_violation "priv-outside-kernel" (fun tr _ ->
+        Trace.emit tr ~ts:1. ~tid:3 ~arg:0x4000 ~cpu:0 Trace.Priv_op)
+  in
+  Alcotest.(check int) "offender index" 0 v.Checker.v_index;
+  match List.rev v.Checker.v_window with
+  | offender :: _ ->
+      Alcotest.(check bool) "window ends at the privileged op" true
+        (offender.Trace.e_kind = Trace.Priv_op && offender.Trace.e_arg = 0x4000)
+  | [] -> Alcotest.fail "empty violation window"
+
+let test_use_after_revocation () =
+  (* Mutation: a capability use whose creation stamp predates the
+     revocation bump of its (owner tag, counter) — a replayed stale
+     capability the revocation table should have killed. *)
+  let v =
+    expect_violation "revocation-completeness" (fun tr _ ->
+        Trace.emit tr ~ts:1. ~tid:2 ~tag:10 ~arg:3 ~cpu:5 Trace.Cap_revoke;
+        Trace.emit tr ~ts:2. ~tid:2 ~tag:10 ~arg:3 ~cpu:4 Trace.Cap_use)
+  in
+  Alcotest.(check int) "offender index" 1 v.Checker.v_index;
+  match List.rev v.Checker.v_window with
+  | offender :: _ ->
+      Alcotest.(check bool) "window ends at the stale use" true
+        (offender.Trace.e_kind = Trace.Cap_use && offender.Trace.e_cpu = 4)
+  | [] -> Alcotest.fail "empty violation window"
+
+let test_authority_events_clean () =
+  (* Control: backed accesses, stamped uses at (or past) the revocation
+     value, and privileged ops with authority all pass. *)
+  let tr = Trace.create () in
+  let chk = Checker.create () in
+  Checker.attach chk tr;
+  Trace.emit tr ~ts:1. ~tid:4 ~tag:20 ~arg:10 ~cpu:1 Trace.Xtag_access;
+  Trace.emit tr ~ts:2. ~tid:4 ~tag:20 ~arg:10 ~cpu:2 Trace.Xtag_access;
+  Trace.emit tr ~ts:3. ~tid:3 ~arg:0x4000 ~cpu:1 Trace.Priv_op;
+  Trace.emit tr ~ts:4. ~tid:2 ~tag:10 ~arg:3 ~cpu:5 Trace.Cap_revoke;
+  Trace.emit tr ~ts:5. ~tid:2 ~tag:10 ~arg:3 ~cpu:5 Trace.Cap_use;
+  Checker.finish chk;
+  Checker.detach tr;
+  Alcotest.(check int) "all events seen" 5 (Checker.events_seen chk)
+
 (* --- the clean control: no mutation, no violation --- *)
 
 let test_clean_stream_passes () =
@@ -201,6 +263,14 @@ let suites =
           test_crossing_imbalance;
         Alcotest.test_case "wrong totals -> charge-conservation" `Quick
           test_charge_conservation;
+        Alcotest.test_case "unbacked access -> xtag-no-authority" `Quick
+          test_xtag_without_authority;
+        Alcotest.test_case "unprivileged priv op -> priv-outside-kernel" `Quick
+          test_priv_outside_kernel;
+        Alcotest.test_case "stale stamp -> revocation-completeness" `Quick
+          test_use_after_revocation;
+        Alcotest.test_case "stamped authority events pass" `Quick
+          test_authority_events_clean;
       ] );
     ( "checker.clean",
       [

@@ -228,6 +228,56 @@ let test_models_agree_except_documented () =
     "documented deviations only" [ "return without a call" ]
     (List.map snd deviations)
 
+(* --- uniform fault facts: same (kind, canonical pc) on every backend ---
+
+   The Allowed/Denied corpus above is deliberately coarse; historically
+   it was also the ONLY cross-architecture comparison, because each
+   miniature reported denials as bare strings.  The structured [_at]
+   fault APIs close that gap: every denial now carries a {!Fault.t}
+   with the same fault kind and the same canonical faulting pc the
+   CODOMs machine raises for the equivalent attack — so the corpus's
+   denial rows can be pinned uniformly, with no per-backend
+   special-casing.  The raw-jump return deviation documented above is
+   the one outcome that stays per-architecture; its software-level
+   counterpart (DCS underflow) IS uniform, and is pinned here. *)
+
+module Adv = Dipc_workloads.Adversary
+
+(* Conformance scenario -> the adversary attack exercising the same
+   situation through the structured fault path. *)
+let fact_rows =
+  [
+    ("unsanctioned crossing", Adv.Bad_crossing);
+    ("crossing outside the entry point", Adv.Misaligned_entry);
+    ("data access out of bounds", Adv.Oob_load);
+    ("sealed/revoked authority", Adv.Use_after_revoke);
+    ("return discipline (software level)", Adv.Return_underflow);
+  ]
+
+let test_uniform_fault_facts () =
+  List.iter
+    (fun (name, attack) ->
+      let exp_kind, exp_pc =
+        match Adv.expect attack with
+        | Some e -> e
+        | None -> Alcotest.failf "%s: no pinned expectation" name
+      in
+      List.iter
+        (fun backend ->
+          let where =
+            Printf.sprintf "%s on %s" name (Adv.backend_name backend)
+          in
+          match Adv.run_one ~posture:Fault.Strict backend attack with
+          | Adv.Faulted f ->
+              Alcotest.(check int) (where ^ ": fault kind code")
+                (Fault.kind_code exp_kind)
+                (Fault.kind_code f.Fault.kind);
+              Alcotest.(check int) (where ^ ": canonical pc") exp_pc f.Fault.pc
+          | Adv.Ran _ -> Alcotest.failf "%s: denial retired" where
+          | Adv.Refused s -> Alcotest.failf "%s: refused early: %s" where s)
+        Adv.all_backends)
+    fact_rows
+
 (* --- crossings really trap/flush where the cost model says they do --- *)
 
 let test_crossing_cost_mechanisms () =
@@ -304,6 +354,8 @@ let suites =
           test_corpus;
         Alcotest.test_case "models agree except documented deviations" `Quick
           test_models_agree_except_documented;
+        Alcotest.test_case "uniform fault (kind, pc) across backends" `Quick
+          test_uniform_fault_facts;
         Alcotest.test_case "crossing cost mechanisms" `Quick
           test_crossing_cost_mechanisms;
         Alcotest.test_case "table 1 cost orderings" `Quick

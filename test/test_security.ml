@@ -468,6 +468,168 @@ let test_timeout_split_requires_stack_confidentiality () =
   | Ok _ -> Alcotest.fail "split must require a separate stack"
   | Error _ -> ()
 
+(* --- adversarial scenario matrix (hostile-domain suite) --- *)
+
+module Adv = Dipc_workloads.Adversary
+
+let backend_t = Alcotest.testable (Fmt.of_to_string Adv.backend_name) ( = )
+let _ = backend_t
+
+let fact_of_outcome = function
+  | Adv.Ran audited -> (-1, audited)
+  | Adv.Faulted f -> (Fault.kind_code f.Fault.kind, f.Fault.pc)
+  | Adv.Refused s -> (-2, String.length s)
+
+let pp_outcome = function
+  | Adv.Ran a -> Printf.sprintf "Ran(audited=%d)" a
+  | Adv.Faulted f -> Printf.sprintf "Faulted(%s)" (Fault.to_string f)
+  | Adv.Refused s -> Printf.sprintf "Refused(%s)" s
+
+(* Every directed scenario produces exactly the pinned (fault kind,
+   canonical faulting pc) on every backend it applies to, on both
+   interpreter paths. *)
+let test_directed_corpus () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun block ->
+              let where =
+                Printf.sprintf "%s on %s (block=%b)" s.Adv.s_name
+                  (Adv.backend_name backend) block
+              in
+              let outcome =
+                Adv.run_one ~block ~posture:Fault.Strict backend s.Adv.s_attack
+              in
+              match (s.Adv.s_expect, outcome) with
+              | None, Adv.Ran 0 -> ()
+              | None, o ->
+                  Alcotest.failf "%s: benign load did not run clean: %s" where
+                    (pp_outcome o)
+              | Some (k, pc), Adv.Faulted f ->
+                  if Fault.kind_code f.Fault.kind <> Fault.kind_code k then
+                    Alcotest.failf "%s: wrong fault kind: %s (wanted %s)" where
+                      (Fault.kind_to_string f.Fault.kind)
+                      (Fault.kind_to_string k);
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s: canonical faulting pc" where)
+                    pc f.Fault.pc
+              | Some (k, _), o ->
+                  Alcotest.failf "%s: expected %s fault, got %s" where
+                    (Fault.kind_to_string k) (pp_outcome o))
+            [ true; false ])
+        s.Adv.s_backends)
+    Adv.corpus
+
+(* Proxy misuse: re-entering a proxy past its aligned entry point is a
+   Not_entry_point fault at the re-entry target, identically on both
+   interpreter paths. *)
+let test_proxy_reentry_blocked () =
+  let check block =
+    let outcome, target = Adv.proxy_reentry ~block () in
+    match outcome with
+    | Adv.Faulted { Fault.kind = Fault.Not_entry_point; pc; _ } ->
+        Alcotest.(check int)
+          (Printf.sprintf "re-entry faults at the target (block=%b)" block)
+          target pc;
+        (target, pc)
+    | o -> Alcotest.failf "re-entry not refused (block=%b): %s" block (pp_outcome o)
+  in
+  let on = check true and off = check false in
+  Alcotest.(check (pair int int)) "both paths agree" on off
+
+let test_wrong_signature_refused () =
+  match Adv.wrong_signature () with
+  | Adv.Refused _ -> ()
+  | o -> Alcotest.failf "wrong-signature import resolved: %s" (pp_outcome o)
+
+(* The cost-of-isolation pins: the cross-backend sweep digest is a
+   constant of the architecture — equal on all three backends, both
+   interpreter paths, per posture. *)
+let posture_pins =
+  [
+    (Fault.Strict, "0a834554efb934da");
+    (Fault.Audit, "d250229e97a92f17");
+    (Fault.Permissive, "d1f15a20199dc816");
+  ]
+
+let test_posture_digest_pins () =
+  List.iter
+    (fun (posture, pin) ->
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun block ->
+              let outs, _ = Adv.sweep ~block ~posture backend Adv.cross_attacks in
+              Alcotest.(check string)
+                (Printf.sprintf "pinned digest: %s under %s (block=%b)"
+                   (Adv.backend_name backend)
+                   (Fault.posture_to_string posture)
+                   block)
+                pin
+                (Adv.digest_outcomes outs))
+            [ true; false ])
+        Adv.all_backends)
+    posture_pins
+
+(* Differential property: a random adversarial schedule — which the
+   CODOMs sweep runs through ONE shared machine, rewriting attack code
+   in place and revoking/re-granting APL entries between scenarios —
+   yields the same per-scenario (fault kind, canonical pc) facts on all
+   three backends, and byte-identical digests with the block cache on
+   and off. *)
+let differential_prop =
+  QCheck.Test.make ~name:"random adversarial schedules agree across backends"
+    ~count:30
+    QCheck.(pair (int_range 0 0xFFFF) (int_range 1 24))
+    (fun (seed, n) ->
+      let attacks = Adv.random_attacks ~seed ~n in
+      let runs =
+        List.map
+          (fun backend ->
+            let outs_on, cost_on = Adv.sweep ~block:true ~posture:Fault.Strict backend attacks in
+            let outs_off, cost_off = Adv.sweep ~block:false ~posture:Fault.Strict backend attacks in
+            if Adv.digest_outcomes outs_on <> Adv.digest_outcomes outs_off then
+              QCheck.Test.fail_reportf "%s: block on/off digests diverge"
+                (Adv.backend_name backend);
+            if cost_on <> cost_off then
+              QCheck.Test.fail_reportf "%s: block on/off costs diverge"
+                (Adv.backend_name backend);
+            (backend, List.map fact_of_outcome outs_on))
+          Adv.all_backends
+      in
+      match runs with
+      | (_, reference) :: rest ->
+          List.iter
+            (fun (backend, facts) ->
+              if facts <> reference then
+                QCheck.Test.fail_reportf
+                  "%s disagrees with codoms on (kind, pc) facts"
+                  (Adv.backend_name backend))
+            rest;
+          true
+      | [] -> false)
+
+(* Audit continuations are deterministic: two audit sweeps over the full
+   directed schedule agree with each other and report the same number of
+   downgraded denials. *)
+let test_audit_determinism () =
+  let sweep () = Adv.sweep ~posture:Fault.Audit Adv.Codoms (Adv.cross_attacks @ Adv.machine_attacks) in
+  let outs1, cost1 = sweep () and outs2, cost2 = sweep () in
+  Alcotest.(check string) "audit digest stable"
+    (Adv.digest_outcomes outs1) (Adv.digest_outcomes outs2);
+  Alcotest.(check (float 0.0)) "audit cost stable" cost1 cost2;
+  let audited =
+    List.fold_left
+      (fun acc -> function Adv.Ran a -> acc + a | _ -> acc)
+      0 outs1
+  in
+  Alcotest.(check bool) "audit posture recorded downgraded denials" true
+    (audited > 0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
 let suites =
   [
     ( "security.p1",
@@ -513,4 +675,18 @@ let suites =
         Alcotest.test_case "split needs own stack" `Quick
           test_timeout_split_requires_stack_confidentiality;
       ] );
+    ( "security.adversary",
+      [
+        Alcotest.test_case "directed corpus: pinned (kind, pc) everywhere" `Quick
+          test_directed_corpus;
+        Alcotest.test_case "proxy re-entry blocked at the target" `Quick
+          test_proxy_reentry_blocked;
+        Alcotest.test_case "wrong-signature import refused" `Quick
+          test_wrong_signature_refused;
+        Alcotest.test_case "cross-backend posture digests pinned" `Quick
+          test_posture_digest_pins;
+        Alcotest.test_case "audit continuations deterministic" `Quick
+          test_audit_determinism;
+      ]
+      @ qsuite [ differential_prop ] );
   ]
