@@ -16,6 +16,10 @@
      --security         cost-of-isolation posture matrix: {strict, audit,
                         permissive} x {CODOMs, CHERI, MMP} x {clean,
                         under-attack}, both interpreter paths per cell
+     --open [ARRIVAL]   open-arrival load sweep: offered load vs tail
+                        latency (p50/p99/p999) per IPC primitive vs dIPC,
+                        >1M simulated client sessions, saturation knees;
+                        ARRIVAL is poisson (default), bursty or diurnal
 
    Flags (recognised anywhere on the command line):
      --check            attach the online invariant checker to traced runs
@@ -91,6 +95,20 @@ let () =
       let results = Suite.security_matrix ~jobs () in
       Printf.printf "security matrix: %d cells checked on both interpreter paths\n%!"
         (List.length results)
+  | "--open" :: rest ->
+      let arrival =
+        match rest with
+        | s :: _ -> (
+            match Suite.OL.arrival_of_string s with
+            | Some a -> a
+            | None ->
+                Printf.eprintf
+                  "--open takes poisson | bursty | diurnal, got %S\n" s;
+                exit 2)
+        | [] -> Suite.OL.Poisson
+      in
+      let rows = Suite.open_sweep ~jobs ~arrival () in
+      Printf.printf "open sweep: %d cells\n%!" (List.length rows)
   | [] ->
       if check || inject_seed <> None then
         (* flags without a mode: run the digest suite under them *)

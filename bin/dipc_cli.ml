@@ -22,6 +22,8 @@ module Asm = Dipc_core.Asm
 module Isa = Dipc_hw.Isa
 module M = Dipc_workloads.Microbench
 module O = Dipc_workloads.Oltp
+module OL = Dipc_workloads.Openload
+module Histogram = Dipc_sim.Histogram
 
 open Cmdliner
 
@@ -340,6 +342,91 @@ let oltp_cmd =
       const run_oltp $ config $ threads $ on_disk $ inject_arg $ check_arg
       $ sweep $ jobs_arg $ no_block_cache_arg)
 
+(* --- open: open-arrival load generator (millions of sessions) --- *)
+
+let arrival_conv =
+  let parse s =
+    match OL.arrival_of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown arrival %S (poisson|bursty|diurnal)" s))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (OL.arrival_name a))
+
+let run_open prim arrival load sessions seed sweep jobs no_bc =
+  apply_block_cache no_bc;
+  let jobs = resolve_jobs jobs in
+  if sweep then ignore (Suite.open_sweep ~jobs ~arrival ())
+  else begin
+    let service_ns =
+      match List.assoc_opt prim (Suite.open_costs ()) with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "unknown primitive %S (sem|pipe|l4|rpc|dipc)\n" prim;
+          exit 2
+    in
+    let p =
+      OL.default_params ~seed ~sessions ~offered_load:load ~arrival ~service_ns
+        ()
+    in
+    let r = OL.run p in
+    let pc q = Histogram.percentile r.OL.r_latency q in
+    Printf.printf "%s, %s arrivals, offered load %.2f, %d sessions:\n" prim
+      (OL.arrival_name arrival) load sessions;
+    Printf.printf "  service demand %.1f ns/request (measured), %d CPUs\n"
+      service_ns p.OL.servers;
+    Printf.printf "  %d requests over %.2f simulated ms\n" r.OL.r_requests
+      (r.OL.r_makespan_ns /. 1e6);
+    Printf.printf "  latency p50 %.1f ns  p99 %.1f ns  p999 %.1f ns  mean %.1f ns\n"
+      (pc 50.) (pc 99.) (pc 99.9)
+      (Histogram.mean r.OL.r_latency);
+    Printf.printf "  utilization %.3f  throughput %.0f req/s\n"
+      (OL.utilization r ~servers:p.OL.servers)
+      (OL.throughput_rps r);
+    Printf.printf "  digest %s\n" r.OL.r_digest
+  end
+
+let open_cmd =
+  let prim =
+    Arg.(
+      value & opt string "dipc"
+      & info [ "primitive" ] ~doc:"sem|pipe|l4|rpc|dipc")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt arrival_conv OL.Poisson
+      & info [ "arrival" ] ~doc:"poisson|bursty|diurnal")
+  in
+  let load =
+    Arg.(
+      value & opt float 0.85
+      & info [ "load" ] ~docv:"RHO" ~doc:"offered load (rho; > 1 is overload)")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 100_000
+      & info [ "sessions" ] ~doc:"client sessions to simulate")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed") in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "full load sweep: every IPC primitive vs dIPC across offered \
+             loads, >1M sessions, with saturation knees (honours \
+             $(b,--jobs))")
+  in
+  Cmd.v
+    (Cmd.info "open"
+       ~doc:
+         "drive the system with an open-arrival session stream and report \
+          tail latency percentiles")
+    Term.(
+      const run_open $ prim $ arrival $ load $ sessions $ seed $ sweep
+      $ jobs_arg $ no_block_cache_arg)
+
 (* --- trace: export a Chrome trace of a microbench run --- *)
 
 let run_trace primitive same_cpu bytes iters out no_bc =
@@ -465,4 +552,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ call_cmd; ipc_cmd; oltp_cmd; bench_cmd; disasm_cmd; trace_cmd ]))
+          [
+            call_cmd;
+            ipc_cmd;
+            oltp_cmd;
+            open_cmd;
+            bench_cmd;
+            disasm_cmd;
+            trace_cmd;
+          ]))

@@ -38,6 +38,24 @@ let int t bound =
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   r mod bound
 
+(* Uniform integer in [0, bound) without modulo bias: draw 61-bit
+   values (so the range itself stays a positive OCaml int) and reject
+   the truncated tail.  [int] above keeps its historic `r mod bound`
+   bias because the pinned golden digests consume its exact draw
+   sequence; all *new* consumers (the open-arrival workloads) use this
+   one.  The rejection loop draws a variable number of words, so the
+   two functions are not stream-compatible — see the determinism
+   contract in DESIGN.md Sec. 10. *)
+let int_unbiased t bound =
+  if bound <= 0 then invalid_arg "Rng.int_unbiased: bound must be positive";
+  let range = 1 lsl 61 in
+  let limit = range - (range mod bound) in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 3) in
+    if r < limit then r mod bound else draw ()
+  in
+  draw ()
+
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 (* Exponential distribution with the given mean. *)

@@ -23,8 +23,16 @@ val next_int64 : t -> int64
 val float : t -> float
 
 (** Uniform integer in [0, bound); raises [Invalid_argument] when
-    [bound <= 0]. *)
+    [bound <= 0].  Carries the classic `r mod bound` modulo bias; kept
+    verbatim because the pinned golden digests consume its exact draw
+    sequence.  New code should prefer {!int_unbiased}. *)
 val int : t -> int -> int
+
+(** Uniform integer in [0, bound) via rejection sampling — no modulo
+    bias.  Consumes a variable number of draws, so it is not
+    stream-compatible with {!int}; raises [Invalid_argument] when
+    [bound <= 0]. *)
+val int_unbiased : t -> int -> int
 
 val bool : t -> bool
 

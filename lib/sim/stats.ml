@@ -41,8 +41,12 @@ let min_value t = if t.n = 0 then 0. else t.min
 let max_value t = if t.n = 0 then 0. else t.max
 
 (* Relative standard deviation (coefficient of variation); the paper reports
-   all micro-benchmarks with stddev below 1% of the mean. *)
-let rel_stddev t = if mean t = 0. then 0. else stddev t /. mean t
+   all micro-benchmarks with stddev below 1% of the mean.  The magnitude
+   of the mean is the conventional denominator: delta-style series can
+   have a negative mean, and a negative "relative stddev" would compare
+   wrong against any threshold. *)
+let rel_stddev t =
+  if mean t = 0. then 0. else stddev t /. Float.abs (mean t)
 
 type summary = {
   s_count : int;
@@ -70,7 +74,11 @@ let percentile samples p =
   if Array.length samples = 0 then 0.
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    (* Float.compare, not polymorphic compare: no boxed-generic dispatch
+       per comparison on the sweep hot path, and NaN ordering is
+       well-defined (a total order with NaN smallest) instead of
+       structural. *)
+    Array.sort Float.compare sorted;
     let n = Array.length sorted in
     let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
     let rank = if rank < 1 then 1 else if rank > n then n else rank in

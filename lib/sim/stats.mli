@@ -23,7 +23,7 @@ val min_value : t -> float
 
 val max_value : t -> float
 
-(** Coefficient of variation: stddev / mean. *)
+(** Coefficient of variation: stddev / |mean| (never negative). *)
 val rel_stddev : t -> float
 
 (** Immutable snapshot of an accumulator. *)

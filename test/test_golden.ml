@@ -1,4 +1,4 @@
-(* Golden-digest corpus: rerun all 31 benchmark experiments through the
+(* Golden-digest corpus: rerun all 35 benchmark experiments through the
    shared suite library and pin every replay digest against the
    committed bench/BENCH_baseline.json.  Any unintended change to the
    event timeline — engine, kernel, IPC layer, workloads — shows up
@@ -16,7 +16,7 @@ let baseline_path = "../bench/BENCH_baseline.json"
 
 let test_baseline_parses () =
   let pins = Golden.parse_file baseline_path in
-  Alcotest.(check int) "31 pinned experiments" 31 (List.length pins);
+  Alcotest.(check int) "35 pinned experiments" 35 (List.length pins);
   List.iter
     (fun (name, digest) ->
       Alcotest.(check bool)
@@ -46,7 +46,7 @@ let suites =
     ( "golden",
       [
         Alcotest.test_case "baseline corpus parses" `Quick test_baseline_parses;
-        Alcotest.test_case "all 31 digests match the baseline" `Slow
+        Alcotest.test_case "all 35 digests match the baseline" `Slow
           test_digests_match_baseline;
       ] );
   ]

@@ -5,4 +5,5 @@ let () =
    @ Test_extensions.suites @ Test_archmodels.suites @ Test_lang.suites @ Test_advanced.suites
    @ Test_trace.suites @ Test_perf.suites @ Test_props.suites
    @ Test_conformance.suites @ Test_checker.suites @ Test_inject.suites
-   @ Test_blocks.suites @ Test_golden.suites @ Test_parallel.suites)
+   @ Test_blocks.suites @ Test_golden.suites @ Test_parallel.suites
+   @ Test_openload.suites)

@@ -122,40 +122,45 @@ let qcheck_split_position_matters =
       let c1 = Rng.split a in
       draws c0 8 <> draws c1 8)
 
-(* --- Histogram: log2 bucket boundaries, via the public percentile --- *)
+(* --- Histogram: HDR resolution bound, via the public percentile --- *)
 
 let singleton x =
   let h = Histogram.create () in
   Histogram.add h x;
   h
 
-let qcheck_hist_bucket_brackets_sample =
-  QCheck.Test.make ~name:"histogram bucket lower bound brackets the sample"
-    ~count:300
+let qcheck_hist_relative_error_bound =
+  QCheck.Test.make ~name:"histogram recovers any sample within 1%" ~count:300
     QCheck.(float_range 1. 1e9)
     (fun x ->
-      (* A singleton's percentile is its bucket's lower bound: the
-         largest power of two at or below the sample. *)
+      (* A singleton's percentile lies inside the sample's bucket, whose
+         width is <= 1/128 of its lower bound. *)
       let p = Histogram.percentile (singleton x) 50. in
-      p <= x && x < 2. *. p)
+      Float.abs (p -. x) <= 0.01 *. x)
 
-let qcheck_hist_power_of_two_boundary =
-  QCheck.Test.make ~name:"histogram buckets split exactly at powers of two"
+let qcheck_hist_power_of_two_resolution =
+  QCheck.Test.make
+    ~name:"histogram keeps 1% resolution at power-of-two boundaries"
     ~count:100
     QCheck.(int_range 1 30)
     (fun k ->
       let b = 2. ** float_of_int k in
-      (* On the boundary: the sample starts bucket k... *)
-      Histogram.percentile (singleton b) 50. = b
-      (* ...just below it, bucket k-1. *)
-      && Histogram.percentile (singleton (b *. 0.999)) 50. = b /. 2.)
+      (* The old layout collapsed [2^(k-1), 2^k) into one bucket; the
+         HDR sub-buckets must distinguish either side of the boundary. *)
+      let above = Histogram.percentile (singleton b) 50. in
+      let below = Histogram.percentile (singleton (b *. 0.99)) 50. in
+      Float.abs (above -. b) <= 0.01 *. b
+      && Float.abs (below -. (b *. 0.99)) <= 0.01 *. b
+      && below < above)
 
 let test_hist_clamps () =
-  Alcotest.(check (float 0.)) "sub-ns samples land in the first bucket" 1.
-    (Histogram.percentile (singleton 0.25) 50.);
+  let p50 x = Histogram.percentile (singleton x) 50. in
+  Alcotest.(check (float 0.)) "negative samples land with zero" (p50 0.)
+    (p50 (-5.));
+  Alcotest.(check (float 0.)) "NaN samples land with zero" (p50 0.)
+    (p50 Float.nan);
   Alcotest.(check (float 0.)) "huge samples clamp to the last bucket"
-    (2. ** 39.)
-    (Histogram.percentile (singleton 1e18) 50.);
+    (p50 1e18) (p50 1e20);
   Alcotest.(check (float 0.)) "empty histogram reports 0" 0.
     (Histogram.percentile (Histogram.create ()) 50.)
 
@@ -166,7 +171,10 @@ let qcheck_hist_percentile_monotone_in_samples =
       let h = Histogram.create () in
       List.iter (Histogram.add h) xs;
       let top = Histogram.percentile h 100. in
-      List.for_all (fun x -> x < 2. *. top) xs)
+      let mx = List.fold_left Float.max 0. xs in
+      (* p100 is the upper edge of the max sample's bucket: at or above
+         every sample, within 1% of the maximum. *)
+      List.for_all (fun x -> x <= top) xs && top <= 1.01 *. mx)
 
 (* --- Stats: Welford accumulator and nearest-rank percentile vs plain
        float references --- *)
@@ -243,8 +251,8 @@ let suites =
     ( "props.histogram",
       List.map QCheck_alcotest.to_alcotest
         [
-          qcheck_hist_bucket_brackets_sample;
-          qcheck_hist_power_of_two_boundary;
+          qcheck_hist_relative_error_bound;
+          qcheck_hist_power_of_two_resolution;
           qcheck_hist_percentile_monotone_in_samples;
         ]
       @ [ Alcotest.test_case "bucket clamps" `Quick test_hist_clamps ] );

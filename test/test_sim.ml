@@ -338,8 +338,12 @@ let test_histogram () =
   let h = Histogram.create () in
   List.iter (Histogram.add h) [ 1.; 2.; 4.; 1024.; 1_000_000. ];
   Alcotest.(check int) "count" 5 (Histogram.count h);
-  Alcotest.(check bool) "p50 small" true (Histogram.percentile h 50. <= 4.);
-  Alcotest.(check bool) "p99 large" true (Histogram.percentile h 99. >= 65536.)
+  (* Rank 3 of 5 is the sample 4.; HDR resolution is <= 1% relative. *)
+  let p50 = Histogram.percentile h 50. in
+  Alcotest.(check bool) "p50 within 1% of 4" true (Float.abs (p50 -. 4.) <= 0.04);
+  let p99 = Histogram.percentile h 99. in
+  Alcotest.(check bool) "p99 within 1% of 1e6" true
+    (Float.abs (p99 -. 1e6) <= 1e4)
 
 let samples_gen =
   QCheck.(list_of_size Gen.(0 -- 100) (float_bound_exclusive 1e9))
