@@ -40,12 +40,12 @@ module Parallel = Dipc_sim.Parallel
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec extract check inject jobs acc = function
-    | [] -> (check, inject, jobs, List.rev acc)
-    | "--check" :: rest -> extract true inject jobs acc rest
+  let rec extract check inject jobs shards acc = function
+    | [] -> (check, inject, jobs, shards, List.rev acc)
+    | "--check" :: rest -> extract true inject jobs shards acc rest
     | "--no-block-cache" :: rest ->
         Dipc_hw.Machine.set_default_block_cache false;
-        extract check inject jobs acc rest
+        extract check inject jobs shards acc rest
     | [ "--posture" ] ->
         Printf.eprintf "--posture needs strict | audit | permissive\n";
         exit 2
@@ -53,7 +53,7 @@ let () =
         match Dipc_hw.Fault.posture_of_string s with
         | Some p ->
             Dipc_hw.Fault.set_default_posture p;
-            extract check inject jobs acc rest
+            extract check inject jobs shards acc rest
         | None ->
             Printf.eprintf "--posture needs strict | audit | permissive, got %S\n" s;
             exit 2)
@@ -62,7 +62,7 @@ let () =
         exit 2
     | "--inject" :: s :: rest -> (
         match int_of_string_opt s with
-        | Some seed -> extract check (Some seed) jobs acc rest
+        | Some seed -> extract check (Some seed) jobs shards acc rest
         | None ->
             Printf.eprintf "--inject needs an integer seed, got %S\n" s;
             exit 2)
@@ -71,19 +71,31 @@ let () =
         exit 2
     | "--jobs" :: s :: rest -> (
         match int_of_string_opt s with
-        | Some 0 -> extract check inject (Parallel.default_jobs ()) acc rest
-        | Some n when n > 0 -> extract check inject n acc rest
+        | Some 0 ->
+            extract check inject (Parallel.default_jobs ()) shards acc rest
+        | Some n when n > 0 -> extract check inject n shards acc rest
         | _ ->
             Printf.eprintf "--jobs needs a non-negative integer, got %S\n" s;
             exit 2)
-    | x :: rest -> extract check inject jobs (x :: acc) rest
+    | [ "--shards" ] ->
+        Printf.eprintf "--shards needs an integer count\n";
+        exit 2
+    | "--shards" :: s :: rest -> (
+        match int_of_string_opt s with
+        | Some 0 ->
+            extract check inject jobs (Parallel.default_jobs ()) acc rest
+        | Some n when n > 0 -> extract check inject jobs n acc rest
+        | _ ->
+            Printf.eprintf "--shards needs a non-negative integer, got %S\n" s;
+            exit 2)
+    | x :: rest -> extract check inject jobs shards (x :: acc) rest
   in
-  let check, inject_seed, jobs, args = extract false None 1 [] args in
+  let check, inject_seed, jobs, shards, args = extract false None 1 1 [] args in
   match args with
   | "--trace" :: rest ->
       Suite.trace_smoke (match rest with out :: _ -> out | [] -> "trace.json")
   | "--json" :: rest ->
-      Suite.bench_json ~check ?inject_seed ~jobs
+      Suite.bench_json ~check ?inject_seed ~shards ~jobs
         (match rest with out :: _ -> out | [] -> "BENCH_fixed_seed.json")
   | "--matrix" :: _ ->
       let runs, faults =
@@ -107,12 +119,13 @@ let () =
                 exit 2)
         | [] -> Suite.OL.Poisson
       in
-      let rows = Suite.open_sweep ~jobs ~arrival () in
+      let rows = Suite.open_sweep ~jobs ~shards ~arrival () in
       Printf.printf "open sweep: %d cells\n%!" (List.length rows)
   | [] ->
       if check || inject_seed <> None then
         (* flags without a mode: run the digest suite under them *)
-        Suite.bench_json ~check ?inject_seed ~jobs "BENCH_fixed_seed.json"
+        Suite.bench_json ~check ?inject_seed ~shards ~jobs
+          "BENCH_fixed_seed.json"
       else List.iter (fun (_, f) -> f ()) Suite.experiments
   | names ->
       List.iter

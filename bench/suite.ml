@@ -941,11 +941,12 @@ type open_row = {
   op_line : string;  (* pre-rendered verbose line *)
 }
 
-let open_run_row ~prim ~service_ns ~arrival ~load ~sessions ~seed =
+let open_run_row ?(shards = 1) ~prim ~service_ns ~arrival ~load ~sessions ~seed
+    () =
   let p =
     OL.default_params ~seed ~sessions ~offered_load:load ~arrival ~service_ns ()
   in
-  let r = OL.run p in
+  let r = OL.run_sharded ~shards p in
   let pc q = Histogram.percentile r.OL.r_latency q in
   let p50 = pc 50. and p99 = pc 99. and p999 = pc 99.9 in
   let util = OL.utilization r ~servers:p.OL.servers in
@@ -970,7 +971,11 @@ let open_run_row ~prim ~service_ns ~arrival ~load ~sessions ~seed =
    domains, verbose lines printed in submission order (stdout
    byte-identical at any [jobs]), then the per-primitive saturation
    knee from the p99-vs-load curve. *)
-let open_sweep ?(jobs = 1) ?(sessions = open_sweep_sessions)
+(* [shards] partitions each cell's simulation internally (conservative
+   windows, DESIGN.md Sec. 14) — orthogonal to [jobs], which shards
+   *across* cells.  Digests and stdout are byte-identical at any
+   combination; 1 is the serial reference path. *)
+let open_sweep ?(jobs = 1) ?(shards = 1) ?(sessions = open_sweep_sessions)
     ?(arrival = OL.Poisson) () =
   header
     (Printf.sprintf
@@ -987,8 +992,9 @@ let open_sweep ?(jobs = 1) ?(sessions = open_sweep_sessions)
                 (fun load_idx load ->
                   ( Printf.sprintf "open/%s/rho=%.2f" prim load,
                     fun () ->
-                      open_run_row ~prim ~service_ns ~arrival ~load ~sessions
-                        ~seed:(open_cell_seed ~prim_idx ~load_idx) ))
+                      open_run_row ~shards ~prim ~service_ns ~arrival ~load
+                        ~sessions
+                        ~seed:(open_cell_seed ~prim_idx ~load_idx) () ))
                 open_loads)
             costs))
   in
@@ -1030,11 +1036,11 @@ let open_sweep ?(jobs = 1) ?(sessions = open_sweep_sessions)
    against unintended drift. *)
 let open_bench_sessions = 20_000
 
-let bench_open name prim arrival load () =
+let bench_open ?(shards = 1) name prim arrival load () =
   let service_ns = List.assoc prim (open_costs ()) in
   let r, wall =
     timed (fun () ->
-        OL.run
+        OL.run_sharded ~shards
           (OL.default_params ~seed:42 ~sessions:open_bench_sessions
              ~offered_load:load ~arrival ~service_ns ()))
   in
@@ -1049,16 +1055,16 @@ let bench_open name prim arrival load () =
     b_metric = Histogram.percentile r.OL.r_latency 99.;
   }
 
-let open_tasks () =
+let open_tasks ?shards () =
   [
     ( "open_sem_poisson70",
-      bench_open "open_sem_poisson70" "sem" OL.Poisson 0.70 );
+      bench_open ?shards "open_sem_poisson70" "sem" OL.Poisson 0.70 );
     ( "open_rpc_bursty85",
-      bench_open "open_rpc_bursty85" "rpc" OL.Bursty 0.85 );
+      bench_open ?shards "open_rpc_bursty85" "rpc" OL.Bursty 0.85 );
     ( "open_dipc_diurnal90",
-      bench_open "open_dipc_diurnal90" "dipc" OL.Diurnal 0.90 );
+      bench_open ?shards "open_dipc_diurnal90" "dipc" OL.Diurnal 0.90 );
     ( "open_pipe_poisson105",
-      bench_open "open_pipe_poisson105" "pipe" OL.Poisson 1.05 );
+      bench_open ?shards "open_pipe_poisson105" "pipe" OL.Poisson 1.05 );
   ]
 
 (* The 13 core experiments plus the 18 security-matrix cells and the 4
@@ -1067,7 +1073,7 @@ let open_tasks () =
    Every task builds its own Engine/Trace/Rng/Checker universe, so the
    digests are identical whether the tasks run serially or sharded
    across domains — the property test_parallel.ml pins. *)
-let bench_tasks ?check ?inject_seed () =
+let bench_tasks ?check ?inject_seed ?shards () =
   [|
     ("golden_sem_same", fun () -> bench_golden ?check ?inject_seed ());
     ( "sem_same",
@@ -1097,13 +1103,17 @@ let bench_tasks ?check ?inject_seed () =
   |]
   |> fun core ->
   Array.concat
-    [ core; Array.of_list (security_tasks ()); Array.of_list (open_tasks ()) ]
+    [
+      core;
+      Array.of_list (security_tasks ());
+      Array.of_list (open_tasks ?shards ());
+    ]
 
 (* Run the fixed-seed suite, sharded over [jobs] domains (default 1:
    the plain serial path).  Outcomes carry per-run wall/allocation
    stats; order is always submission order. *)
-let bench_suite_outcomes ?check ?inject_seed ?(jobs = 1) () =
-  Parallel.run ~jobs (bench_tasks ?check ?inject_seed ())
+let bench_suite_outcomes ?check ?inject_seed ?shards ?(jobs = 1) () =
+  Parallel.run ~jobs (bench_tasks ?check ?inject_seed ?shards ())
 
 let bench_suite ?check ?inject_seed ?jobs () =
   Array.to_list
@@ -1159,7 +1169,7 @@ let write_bench_json ?(jobs = 1) ?elapsed_s out
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-let bench_json ?(check = false) ?inject_seed ?(jobs = 1) out =
+let bench_json ?(check = false) ?inject_seed ?(shards = 1) ?(jobs = 1) out =
   (* The measured suite runs with a large minor heap: the traced runs
      allocate continuations and trace plumbing at a rate that makes
      minor-collection cadence a visible fraction of wall time with the
@@ -1176,8 +1186,11 @@ let bench_json ?(check = false) ?inject_seed ?(jobs = 1) out =
   | None -> ());
   if check then Printf.printf "  invariant checker attached to every traced run\n";
   if jobs > 1 then Printf.printf "  sharded across %d domains\n" jobs;
+  if shards > 1 then
+    Printf.printf "  intra-run sharding: %d shards per open-arrival cell\n"
+      shards;
   let t0 = Unix.gettimeofday () in
-  let outcomes = bench_suite_outcomes ~check ?inject_seed ~jobs () in
+  let outcomes = bench_suite_outcomes ~check ?inject_seed ~shards ~jobs () in
   let elapsed = Unix.gettimeofday () -. t0 in
   let results = Array.to_list (Array.map (fun o -> o.Parallel.o_value) outcomes) in
   List.iter

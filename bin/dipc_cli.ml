@@ -78,6 +78,19 @@ let jobs_arg =
 
 let resolve_jobs n = if n = 0 then Parallel.default_jobs () else n
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "partition a single simulation into $(docv) shards advanced in \
+           conservative lookahead windows on separate OCaml domains \
+           (DESIGN.md Sec. 14); digests and printed results are \
+           byte-identical at any $(docv).  1 (the default) is the serial \
+           reference path, 0 means one shard per recommended core")
+
+let resolve_shards n = if n = 0 then Parallel.default_jobs () else n
+
 let no_block_cache_arg =
   Arg.(
     value & flag
@@ -353,10 +366,11 @@ let arrival_conv =
   in
   Arg.conv (parse, fun ppf a -> Fmt.string ppf (OL.arrival_name a))
 
-let run_open prim arrival load sessions seed sweep jobs no_bc =
+let run_open prim arrival load sessions seed sweep jobs shards no_bc =
   apply_block_cache no_bc;
   let jobs = resolve_jobs jobs in
-  if sweep then ignore (Suite.open_sweep ~jobs ~arrival ())
+  let shards = resolve_shards shards in
+  if sweep then ignore (Suite.open_sweep ~jobs ~shards ~arrival ())
   else begin
     let service_ns =
       match List.assoc_opt prim (Suite.open_costs ()) with
@@ -369,7 +383,7 @@ let run_open prim arrival load sessions seed sweep jobs no_bc =
       OL.default_params ~seed ~sessions ~offered_load:load ~arrival ~service_ns
         ()
     in
-    let r = OL.run p in
+    let r = OL.run_sharded ~shards p in
     let pc q = Histogram.percentile r.OL.r_latency q in
     Printf.printf "%s, %s arrivals, offered load %.2f, %d sessions:\n" prim
       (OL.arrival_name arrival) load sessions;
@@ -425,7 +439,7 @@ let open_cmd =
           tail latency percentiles")
     Term.(
       const run_open $ prim $ arrival $ load $ sessions $ seed $ sweep
-      $ jobs_arg $ no_block_cache_arg)
+      $ jobs_arg $ shards_arg $ no_block_cache_arg)
 
 (* --- trace: export a Chrome trace of a microbench run --- *)
 

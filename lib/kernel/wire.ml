@@ -1,0 +1,82 @@
+(* Cross-kernel message wire: the kernel-level primitive that lets two
+   kernels live in different simulation shards (DESIGN.md Sec. 14).
+
+   Each endpoint owns a receive buffer and a sleep queue on its own
+   kernel; the two sides never touch each other's state directly.
+   [send] charges the sender's syscall entry and per-message driver work
+   (the Figure-7 NIC driver costs), then hands the payload to an
+   abstract [post] function at [now + latency] — in a sharded run that
+   is [Shard.post] targeting the peer's shard, in a single-engine run
+   plain [Engine.schedule] on the shared engine, and the simulated
+   timeline is identical either way.  Delivery runs as an event on the
+   *receiver's* engine: it enqueues the payload and wakes one blocked
+   reader through the detached device-completion path (no waking thread
+   exists on the receiving side, exactly like a NIC interrupt).
+
+   The wire latency is the shard lookahead: every message is emitted at
+   least [latency] after the send event, so an engine shard whose only
+   egress is wires of latency [>= L] can declare lookahead [L]
+   ([Costs.ipi_send +. Costs.ipi_handle] for an IPI-coupled shard,
+   [Costs.ib_base_latency] for a NIC-coupled one). *)
+
+module Breakdown = Dipc_sim.Breakdown
+module Costs = Dipc_sim.Costs
+
+type 'a endpoint = {
+  ep_kern : Kernel.t;
+  ep_latency : float;
+  ep_post : at:float -> (unit -> unit) -> unit;
+      (* schedule a delivery event on the PEER's engine/shard *)
+  ep_rx : 'a Queue.t;
+  ep_readers : unit Kernel.Sleepq.q;
+  mutable ep_peer : 'a endpoint option;
+}
+
+let default_latency = Costs.ib_base_latency
+
+let endpoint ?(latency = default_latency) kern ~post =
+  if latency < 0. then invalid_arg "Wire.endpoint: negative latency";
+  {
+    ep_kern = kern;
+    ep_latency = latency;
+    ep_post = post;
+    ep_rx = Queue.create ();
+    ep_readers = Kernel.Sleepq.create ();
+    ep_peer = None;
+  }
+
+(* Wire two endpoints together (symmetric; call once). *)
+let connect a b =
+  (match (a.ep_peer, b.ep_peer) with
+  | None, None -> ()
+  | _ -> invalid_arg "Wire.connect: endpoint already connected");
+  a.ep_peer <- Some b;
+  b.ep_peer <- Some a
+
+let latency ep = ep.ep_latency
+
+let pending ep = Queue.length ep.ep_rx
+
+(* Deliver [v] into [ep]: runs as an event on ep's own engine. *)
+let deliver ep v =
+  Queue.push v ep.ep_rx;
+  ignore (Kernel.wake_detached ep.ep_kern ep.ep_readers ())
+
+let send ep th v =
+  let peer =
+    match ep.ep_peer with
+    | Some p -> p
+    | None -> invalid_arg "Wire.send: endpoint not connected"
+  in
+  Kernel.syscall_overhead ep.ep_kern th;
+  Kernel.consume ep.ep_kern th Breakdown.Kernel Costs.ib_per_request_driver;
+  let at = Kernel.now ep.ep_kern +. ep.ep_latency in
+  ep.ep_post ~at (fun () -> deliver peer v)
+
+let recv ep th =
+  Kernel.syscall_overhead ep.ep_kern th;
+  while Queue.is_empty ep.ep_rx do
+    Kernel.block_on ep.ep_kern th ep.ep_readers
+  done;
+  Kernel.consume ep.ep_kern th Breakdown.Kernel Costs.ib_per_request_driver;
+  Queue.pop ep.ep_rx

@@ -1,0 +1,38 @@
+(** Cross-kernel message wire: lets two kernels live in different
+    simulation shards.  Each endpoint owns its receive state on its own
+    kernel; payloads travel through an abstract [post] function (the
+    shard coordinator's cross-shard channel, or plain [Engine.schedule]
+    in a single-engine run) after the wire latency — which is exactly
+    the lookahead the owning shard may declare (DESIGN.md Sec. 14). *)
+
+type 'a endpoint
+
+(** Wire latency defaults to [Costs.ib_base_latency]. *)
+val default_latency : float
+
+(** [endpoint kern ~post] makes one side of a wire on [kern]; [post]
+    must schedule a thunk at an absolute time on the *peer's*
+    engine/shard. *)
+val endpoint :
+  ?latency:float ->
+  Kernel.t ->
+  post:(at:float -> (unit -> unit) -> unit) ->
+  'a endpoint
+
+(** Connect two endpoints (once; raises on rewiring). *)
+val connect : 'a endpoint -> 'a endpoint -> unit
+
+val latency : 'a endpoint -> float
+
+(** Messages received and not yet consumed by {!recv}. *)
+val pending : 'a endpoint -> int
+
+(** Send [v] to the peer: charges syscall entry plus per-message driver
+    work on the sender, then delivers after the wire latency on the
+    peer's engine (detached device-completion wake, like a NIC
+    interrupt). *)
+val send : 'a endpoint -> Kernel.thread -> 'a -> unit
+
+(** Block until a payload is available, then consume it (charging the
+    receive-side driver work). *)
+val recv : 'a endpoint -> Kernel.thread -> 'a

@@ -1,0 +1,104 @@
+(** Conservative parallel DES coordinator: partition one simulation into
+    shards, each owning a private event heap, advanced in conservative
+    lookahead windows with cross-shard messages exchanged at window
+    barriers and merged into a deterministic (time, source shard,
+    emission seqno) total order — so traces, digests and stdout are
+    byte-identical whether the window bodies run serially or on
+    separate OCaml domains (DESIGN.md Sec. 14). *)
+
+(** One shard: an independent sequential simulator. *)
+type 'msg stepper = {
+  st_next : unit -> float;
+      (** earliest pending local event, [infinity] when drained; must
+          include everything previously delivered to the shard *)
+  st_lookahead : float;
+      (** the shard's promise: every message it emits from now on is
+          timestamped at least [st_next () + st_lookahead] (derive it
+          from the minimum cross-shard latency — IPI cost, NIC wire
+          time); [infinity] for a shard that never emits *)
+  st_step :
+    inbox_at:float array ->
+    inbox_pay:'msg array ->
+    inbox_len:int ->
+    upto:float ->
+    emit:(dst:int -> at:float -> 'msg -> unit) ->
+    int;
+      (** deliver the first [inbox_len] messages of the parallel
+          timestamp/payload arrays (already merged into the
+          deterministic total order; the arrays are reused scratch
+          buffers — never read past [inbox_len] or retain them), process
+          local events with time [<= upto], emit cross-shard messages,
+          return the number of events processed.  Messages at exactly
+          the window bound are delivered *after* the receiver's local
+          events at that instant.  An input-free shard may process past
+          [upto] (pipelining) as long as its emissions respect the
+          bound. *)
+}
+
+(** Barrier-merge tie-break for equal timestamps.  [Src_then_seq] is the
+    contract; [Reversed] exists only for the mutation smoke tests that
+    pin the tie-break as digest-visible. *)
+type tiebreak = Src_then_seq | Reversed
+
+(** A shard emitted a message timestamped inside the current window —
+    its real cross-shard latency is below its declared lookahead. *)
+exception Causality_violation of string
+
+(** A window made no progress: a stepper broke the [st_next] /
+    [st_lookahead] contract. *)
+exception Stalled of string
+
+type 'msg t
+
+(** [enforce] (default true) validates every emission against the
+    window bound; [false] is for tests demonstrating the downstream
+    checker catching the corruption instead. *)
+val create :
+  ?tiebreak:tiebreak -> ?enforce:bool -> 'msg stepper array -> 'msg t
+
+(** Drive all shards to completion.  [par:true] runs each window body on
+    its own domain (never more than [jobs]); results are byte-identical
+    either way. *)
+val run : ?par:bool -> ?jobs:int -> 'msg t -> unit
+
+(** Window barriers executed. *)
+val rounds : 'msg t -> int
+
+(** Cross-shard messages delivered. *)
+val delivered : 'msg t -> int
+
+(** {2 Engines as shards} *)
+
+(** A discrete-event engine wrapped as a shard: delivered messages are
+    thunks scheduled at their merged positions, and code running inside
+    the engine posts cross-shard thunks via {!post}. *)
+type engine_shard = {
+  es_engine : Engine.t;
+  es_stepper : (unit -> unit) stepper;
+  mutable es_emit : (dst:int -> at:float -> (unit -> unit) -> unit) option;
+}
+
+(** [lookahead] is the minimum latency of any message the engine's model
+    emits ([infinity] for an engine that never posts). *)
+val engine_shard : ?lookahead:float -> Engine.t -> engine_shard
+
+(** Post a cross-shard thunk; only callable while the shard is inside a
+    window body (i.e. from model code running under {!run}). *)
+val post :
+  engine_shard -> dst:int -> at:float -> (unit -> unit) -> unit
+
+(** Run a conventional single-engine workload through the coordinator in
+    lookahead-sized windows (plus [shards - 1] idle peers): pinned
+    byte-identical to a plain [Engine.run] at any shard count and any
+    lookahead, including zero.  [until] stops at a horizon with exactly
+    the semantics of [Engine.run_until until] — events at the horizon
+    run, the clock advances to it — so bounded drivers (warmup /
+    measure phases) can route through the coordinator too. *)
+val run_windowed :
+  ?shards:int ->
+  ?lookahead:float ->
+  ?until:float ->
+  ?par:bool ->
+  ?jobs:int ->
+  Engine.t ->
+  unit

@@ -214,7 +214,8 @@ let dipc_crossing kern th =
 
 (* Every source of randomness derives from [seed]: the default of 41
    reproduces the calibrated legacy streams (disk 97, pools 733). *)
-let run ?(params_override = None) ?(seed = 41) ?trace ?inject ~config ~db_mode
+let run ?(params_override = None) ?(seed = 41) ?trace ?inject
+    ?(drive_until = Engine.run_until) ~config ~db_mode
     ~threads () =
   let p =
     match params_override with
@@ -310,10 +311,10 @@ let run ?(params_override = None) ?(seed = 41) ?trace ?inject ~config ~db_mode
                done))
       done);
   (* Warm up, reset, measure. *)
-  Engine.run_until engine p.warmup;
+  drive_until engine p.warmup;
   Kernel.reset_stats kern;
   measuring := true;
-  Engine.run_until engine (p.warmup +. p.duration);
+  drive_until engine (p.warmup +. p.duration);
   measuring := false;
   (* Aggregate the CPU breakdowns. *)
   let agg = Breakdown.create () in
