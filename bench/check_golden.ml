@@ -2,16 +2,27 @@
    the committed baseline.
 
      check_golden.exe BASELINE CANDIDATE [--budget SECONDS]
+                      [--counters] [--mips-ratchet RATIO]
 
    Exit 0 when the golden digest and all per-experiment digests match
    (and, with --budget, total_wall_s is within the budget); exit 1 with
    a per-experiment diff otherwise.  Replaces the ad-hoc inline python
-   in .github/workflows/ci.yml. *)
+   in .github/workflows/ci.yml.
+
+   --counters enables the deterministic perf-counter gate: every
+   counter cell of every row must equal the baseline exactly.  Only
+   meaningful when baseline and candidate ran the same dispatch path
+   (counters are path-dependent by design; digests are not).
+
+   --mips-ratchet RATIO enables the throughput floor: each row's
+   sim_mips must stay >= RATIO x the baseline's. *)
 
 module Golden = Dipc_bench_suite.Golden
 
 let () =
   let budget = ref None in
+  let counters = ref false in
+  let ratchet = ref None in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -25,6 +36,19 @@ let () =
     | [ "--budget" ] ->
         prerr_endline "--budget needs a number of seconds";
         exit 2
+    | "--counters" :: rest ->
+        counters := true;
+        parse rest
+    | "--mips-ratchet" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some r when r > 0. -> ratchet := Some r
+        | _ ->
+            prerr_endline "--mips-ratchet needs a positive ratio";
+            exit 2);
+        parse rest
+    | [ "--mips-ratchet" ] ->
+        prerr_endline "--mips-ratchet needs a positive ratio";
+        exit 2
     | p :: rest ->
         paths := p :: !paths;
         parse rest
@@ -34,7 +58,9 @@ let () =
     match List.rev !paths with
     | [ b; c ] -> (b, c)
     | _ ->
-        prerr_endline "usage: check_golden BASELINE CANDIDATE [--budget SECONDS]";
+        prerr_endline
+          "usage: check_golden BASELINE CANDIDATE [--budget SECONDS] \
+           [--counters] [--mips-ratchet RATIO]";
         exit 2
   in
   let baseline = Golden.read_file baseline_path in
@@ -62,6 +88,33 @@ let () =
           m.Golden.mm_name m.Golden.mm_expected "" m.Golden.mm_actual)
       mismatches
   end;
+  if !counters then begin
+    let cmm = Golden.compare_counters ~baseline ~candidate in
+    if cmm = [] then
+      Printf.printf "all per-experiment counters match the baseline\n"
+    else begin
+      failed := true;
+      List.iter
+        (fun m ->
+          Printf.printf "COUNTER MISMATCH %-32s expected %s\n%-49s got %s\n"
+            m.Golden.mm_name m.Golden.mm_expected "" m.Golden.mm_actual)
+        cmm
+    end
+  end;
+  (match !ratchet with
+  | None -> ()
+  | Some ratio ->
+      let rmm = Golden.compare_mips_ratchet ~ratio ~baseline ~candidate in
+      if rmm = [] then
+        Printf.printf "sim_mips ratchet OK (floor %.2f x baseline)\n" ratio
+      else begin
+        failed := true;
+        List.iter
+          (fun m ->
+            Printf.printf "MIPS RATCHET %-20s expected %s\n%-33s got %s\n"
+              m.Golden.mm_name m.Golden.mm_expected "" m.Golden.mm_actual)
+          rmm
+      end);
   (match !budget with
   | None -> ()
   | Some b -> (

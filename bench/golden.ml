@@ -89,6 +89,221 @@ type mismatch = {
   mm_actual : string;
 }
 
+(* --- Row-based view -----------------------------------------------------
+
+   The digest comparison above only needs (name, digest) pairs; the
+   deterministic-counter gate and the sim-MIPS ratchet need the other
+   columns of each experiment row.  Rows are parsed by splitting the
+   report at every name-key marker (the emitter writes one experiment
+   object per line), so a dropped or reordered row shows up as a
+   positional mismatch rather than being silently realigned. *)
+
+type row = {
+  r_name : string;
+  r_counters : (string * int) list; (* in emission order *)
+  r_digest : string;
+  r_sim_mips : float option;
+  r_instret : int option;
+}
+
+let find_sub text pat from =
+  let plen = String.length pat in
+  let len = String.length text in
+  let rec go i =
+    if i + plen > len then None
+    else if String.sub text i plen = pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Parse the ["key": 123, ...] pairs of one flat JSON object starting
+   just after its opening brace; stops at the closing brace. *)
+let parse_int_object text start stop =
+  let rec collect acc i =
+    if i >= stop then List.rev acc
+    else
+      match String.index_from_opt text i '"' with
+      | None -> List.rev acc
+      | Some q0 when q0 >= stop -> List.rev acc
+      | Some q0 -> (
+          match String.index_from_opt text (q0 + 1) '"' with
+          | None -> List.rev acc
+          | Some q1 when q1 >= stop -> List.rev acc
+          | Some q1 ->
+              let key = String.sub text (q0 + 1) (q1 - q0 - 1) in
+              let vstart = ref (q1 + 1) in
+              while
+                !vstart < stop
+                && (text.[!vstart] = ':' || text.[!vstart] = ' ')
+              do
+                incr vstart
+              done;
+              let vstop = ref !vstart in
+              while
+                !vstop < stop
+                && (match text.[!vstop] with '0' .. '9' | '-' -> true | _ -> false)
+              do
+                incr vstop
+              done;
+              let acc =
+                match int_of_string_opt (String.sub text !vstart (!vstop - !vstart)) with
+                | Some v -> (key, v) :: acc
+                | None -> acc
+              in
+              collect acc !vstop)
+  in
+  collect [] start
+
+let parse_rows text =
+  let marker = {|{"name": "|} in
+  let quoted key seg =
+    match find_sub seg key 0 with
+    | None -> None
+    | Some i -> (
+        let start = i + String.length key in
+        match String.index_from_opt seg start '"' with
+        | None -> None
+        | Some stop -> Some (String.sub seg start (stop - start)))
+  in
+  let number key seg =
+    match find_sub seg key 0 with
+    | None -> None
+    | Some i ->
+        let start = i + String.length key in
+        let stop = ref start in
+        let len = String.length seg in
+        while
+          !stop < len
+          && (match seg.[!stop] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub seg start (!stop - start))
+  in
+  let rec segments acc from =
+    match find_sub text marker from with
+    | None -> List.rev acc
+    | Some i ->
+        let stop =
+          match find_sub text marker (i + String.length marker) with
+          | Some j -> j
+          | None -> String.length text
+        in
+        segments (String.sub text i (stop - i) :: acc) stop
+  in
+  List.map
+    (fun seg ->
+      let counters =
+        match find_sub seg {|"counters": {|} 0 with
+        | None -> []
+        | Some i -> (
+            let start = i + String.length {|"counters": {|} in
+            match String.index_from_opt seg start '}' with
+            | None -> []
+            | Some stop -> parse_int_object seg start stop)
+      in
+      {
+        r_name = Option.value (quoted {|"name": "|} seg) ~default:"<unnamed>";
+        r_counters = counters;
+        r_digest = Option.value (quoted {|"digest": "|} seg) ~default:"<missing>";
+        r_sim_mips = number {|"sim_mips": |} seg;
+        r_instret =
+          Option.map int_of_float (number {|"instret": |} seg);
+      })
+    (segments [] 0)
+
+let string_of_counters cs =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs) ^ "}"
+
+(* Deterministic-counter gate: every counter cell of every baseline row
+   must match the candidate exactly — same rows, same order, same
+   counter keys in the same order, same integer values.  A mismatch
+   names the offending experiment and counter cell so the CI log points
+   at the exact regression. *)
+let compare_counters ~baseline ~candidate =
+  let rec go acc base cand =
+    match (base, cand) with
+    | [], [] -> List.rev acc
+    | b :: bs, [] ->
+        go
+          ({ mm_name = b.r_name; mm_expected = string_of_counters b.r_counters;
+             mm_actual = "<missing row>" } :: acc)
+          bs []
+    | [], c :: cs ->
+        go
+          ({ mm_name = c.r_name; mm_expected = "<missing row>";
+             mm_actual = string_of_counters c.r_counters } :: acc)
+          [] cs
+    | b :: bs, c :: cs ->
+        let acc =
+          if b.r_name <> c.r_name then
+            { mm_name = Printf.sprintf "%s/%s (row order)" b.r_name c.r_name;
+              mm_expected = b.r_name; mm_actual = c.r_name } :: acc
+          else
+            let rec cells acc bl cl =
+              match (bl, cl) with
+              | [], [] -> acc
+              | (k, v) :: _, [] ->
+                  { mm_name = Printf.sprintf "%s.%s" b.r_name k;
+                    mm_expected = string_of_int v; mm_actual = "<missing>" } :: acc
+              | [], (k, v) :: _ ->
+                  { mm_name = Printf.sprintf "%s.%s" b.r_name k;
+                    mm_expected = "<missing>"; mm_actual = string_of_int v } :: acc
+              | (bk, bv) :: bl', (ck, cv) :: cl' ->
+                  let acc =
+                    if bk <> ck then
+                      { mm_name = Printf.sprintf "%s.%s/%s (key order)" b.r_name bk ck;
+                        mm_expected = bk; mm_actual = ck } :: acc
+                    else if bv <> cv then
+                      { mm_name = Printf.sprintf "%s.%s" b.r_name bk;
+                        mm_expected = string_of_int bv; mm_actual = string_of_int cv }
+                      :: acc
+                    else acc
+                  in
+                  cells acc bl' cl'
+            in
+            cells acc b.r_counters c.r_counters
+        in
+        go acc bs cs
+  in
+  go [] (parse_rows baseline) (parse_rows candidate)
+
+(* Ratcheted sim-MIPS floor: for every baseline row that actually retired
+   instructions, the candidate must stay above [ratio] x the baseline's
+   sim_mips.  The ratio is deliberately slack (CI hosts are noisy and
+   shared); the point is to catch order-of-magnitude dispatch
+   regressions, not single-digit jitter. *)
+let compare_mips_ratchet ~ratio ~baseline ~candidate =
+  let cand = parse_rows candidate in
+  let find name = List.find_opt (fun r -> r.r_name = name) cand in
+  List.filter_map
+    (fun b ->
+      match (b.r_instret, b.r_sim_mips) with
+      | Some i, Some bm when i > 0 && bm > 0. -> (
+          match find b.r_name with
+          | None ->
+              Some
+                { mm_name = b.r_name; mm_expected = Printf.sprintf "%.3f MIPS" bm;
+                  mm_actual = "<missing row>" }
+          | Some c -> (
+              match c.r_sim_mips with
+              | Some cm when cm >= ratio *. bm -> None
+              | Some cm ->
+                  Some
+                    { mm_name = b.r_name;
+                      mm_expected =
+                        Printf.sprintf ">= %.3f MIPS (%.2f x %.3f)" (ratio *. bm)
+                          ratio bm;
+                      mm_actual = Printf.sprintf "%.3f MIPS" cm }
+              | None ->
+                  Some
+                    { mm_name = b.r_name; mm_expected = Printf.sprintf "%.3f MIPS" bm;
+                      mm_actual = "<no sim_mips>" }))
+      | _ -> None)
+    (parse_rows baseline)
+
 (* Compare a candidate report's per-experiment digests against the
    baseline's: order-sensitive on the baseline corpus (the suite order
    is part of the contract), and any extra/missing experiment is a

@@ -33,7 +33,11 @@
                         identical at any N
      --no-block-cache   force the reference interpreter (disable the
                         machine's translated-block dispatch); results and
-                        digests are identical either way — triage only *)
+                        digests are identical either way — triage only
+     --no-superblocks   keep the translated-block cache but disable the
+                        superblock trace compiler (one-block-at-a-time
+                        dispatch); results and digests are identical
+                        either way — triage only *)
 
 module Suite = Dipc_bench_suite.Suite
 module Parallel = Dipc_sim.Parallel
@@ -45,6 +49,9 @@ let () =
     | "--check" :: rest -> extract true inject jobs shards acc rest
     | "--no-block-cache" :: rest ->
         Dipc_hw.Machine.set_default_block_cache false;
+        extract check inject jobs shards acc rest
+    | "--no-superblocks" :: rest ->
+        Dipc_hw.Machine.set_default_superblocks false;
         extract check inject jobs shards acc rest
     | [ "--posture" ] ->
         Printf.eprintf "--posture needs strict | audit | permissive\n";

@@ -516,6 +516,7 @@ module Machine = Dipc_hw.Machine
 module Page_table = Dipc_hw.Page_table
 module Apl = Dipc_hw.Apl
 module Isa = Dipc_hw.Isa
+module Layout = Dipc_hw.Layout
 
 type bench_result = {
   b_name : string;
@@ -528,6 +529,16 @@ type bench_result = {
   b_digest : string;  (* replay digest / deterministic state summary *)
   b_metric_name : string;
   b_metric : float;
+  b_counters : (string * int) list;
+      (* deterministic perf counters (retired instructions, translated-
+         body entries, superblock hits/translations, side exits) for the
+         machine-interpreter experiments; [] for kernel-model cells.
+         Pure functions of the simulated execution — identical at any
+         --jobs/--shards — but *dispatch-path-dependent* by design
+         (--no-superblocks / --no-block-cache report different counts),
+         so they are emitted as their own JSON column and never enter a
+         digest: the A/B byte-diff jobs compare digests only, while the
+         counter-equality gate runs on the default path alone. *)
 }
 
 (* Each experiment is timed from a clean heap: collecting the previous
@@ -596,6 +607,7 @@ let bench_golden ?(check = false) ?inject_seed () =
     b_instret = 0;
     b_digest = Trace.digest_hex tr;
     b_metric_name = "mean_ns";
+    b_counters = [];
     b_metric = r.M.mean_ns;
   }
 
@@ -621,6 +633,7 @@ let bench_micro ?(check = false) ?inject_seed name prim ~same_cpu =
     b_instret = 0;
     b_digest = Trace.digest_hex tr;
     b_metric_name = "mean_ns";
+    b_counters = [];
     b_metric = r.M.mean_ns;
   }
 
@@ -648,6 +661,7 @@ let bench_oltp ?(check = false) ?inject_seed name config =
     b_instret = 0;
     b_digest = Trace.digest_hex tr;
     b_metric_name = "throughput_opm";
+    b_counters = [];
     b_metric = r.O.r_throughput_opm;
   }
 
@@ -655,8 +669,21 @@ let bench_oltp ?(check = false) ?inject_seed name config =
    no tracing — measures the machine/memory substrate alone. *)
 let hotloop_iters = 400_000
 
+(* The fixed counter schema shared by the machine-interpreter
+   experiments: retired instructions plus the dispatch counters.  Key
+   order is part of the JSON contract (the comparator is
+   order-sensitive, like the digest corpus). *)
+let machine_counters (m : Machine.t) ~instret =
+  [
+    ("instret", instret);
+    ("blocks", m.Machine.ctr_block_entries);
+    ("sb_hits", m.Machine.ctr_sb_hits);
+    ("sb_xlate", m.Machine.ctr_sb_translations);
+    ("side_exits", m.Machine.ctr_side_exits);
+  ]
+
 let bench_machine_hotloop () =
-  let (ctx, final_word), wall =
+  let (m, ctx, final_word), wall =
     timed (fun () ->
         let m = Machine.create () in
         let tag = Apl.fresh_tag m.Machine.apl in
@@ -683,7 +710,7 @@ let bench_machine_hotloop () =
              ]);
         let ctx = Machine.new_ctx m ~pc:code ~sp_value:(data + (4 * 4096)) in
         Machine.run ~fuel:((hotloop_iters * 8) + 100) m ctx;
-        (ctx, Machine.peek_word m ~addr:data))
+        (m, ctx, Machine.peek_word m ~addr:data))
   in
   {
     b_name = "machine_hotloop";
@@ -695,6 +722,88 @@ let bench_machine_hotloop () =
       Printf.sprintf "instret=%d cost=%.0f mem=%d" ctx.Machine.instret
         ctx.Machine.cost final_word;
     b_metric_name = "minstr_per_s";
+    b_counters = machine_counters m ~instret:ctx.Machine.instret;
+    b_metric = float_of_int ctx.Machine.instret /. wall /. 1e6;
+  }
+
+(* Superblock torture cell: a cross-domain call in a loop (the dIPC
+   crossing shape), a parity-dependent forward branch (its speculated
+   fall-through misses every other iteration — side exits by design), a
+   per-iteration syscall (never chained: the dispatcher reference-steps
+   it), and a handler that re-grants an APL edge every 64 calls (the
+   generation bump flushes every warm superblock mid-run, forcing
+   retranslation).  The digest is dispatch-path-independent — identical
+   under --no-superblocks and --no-block-cache — while the counters
+   column pins the superblock machinery itself: chains formed, warm
+   hits, speculation misses, invalidation-forced retranslations. *)
+let superblock_iters = 20_000
+
+let bench_machine_superblock () =
+  let (m, ctx, final_word), wall =
+    timed (fun () ->
+        let m = Machine.create () in
+        let tag_a = Apl.fresh_tag m.Machine.apl in
+        let tag_b = Apl.fresh_tag m.Machine.apl in
+        let code = 0x100000 and callee = 0x110000 and data = 0x200000 in
+        let stack = 0x300000 in
+        Page_table.map m.Machine.page_table ~addr:code ~count:1 ~tag:tag_a
+          ~writable:false ~executable:true ();
+        Page_table.map m.Machine.page_table ~addr:callee ~count:1 ~tag:tag_b
+          ~writable:false ~executable:true ();
+        Page_table.map m.Machine.page_table ~addr:data ~count:1 ~tag:tag_a ();
+        Page_table.map m.Machine.page_table ~addr:stack ~count:1 ~tag:tag_a ();
+        Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_b Dipc_hw.Perm.Call;
+        Apl.grant m.Machine.apl ~src:tag_b ~dst:tag_a Dipc_hw.Perm.Read;
+        let calls = ref 0 in
+        Machine.set_syscall_handler m (fun _ctx _n ->
+            incr calls;
+            if !calls mod 64 = 0 then
+              (* an idempotent re-grant still bumps the APL generation:
+                 every warm superblock is invalidated mid-run *)
+              Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_b Dipc_hw.Perm.Call);
+        let ib = Isa.instr_bytes in
+        let loop = code + (5 * ib) in
+        let skip = loop + (3 * ib) in
+        ignore
+          (Dipc_hw.Memory.place_code m.Machine.mem ~addr:code
+             [
+               Isa.Const (1, data);
+               Isa.Const (2, 0);
+               Isa.Const (3, superblock_iters);
+               Isa.Const (5, 0);
+               Isa.Const (6, 1);
+               (* loop: *)
+               Isa.Sub (5, 6, 5) (* r5 toggles 1,0,1,0... *);
+               Isa.Bnez (5, skip) (* forward: speculated not-taken *);
+               Isa.Addi (7, 7, 3);
+               (* skip: *)
+               Isa.Call callee (* cross-domain, chained *);
+               Isa.Store (1, 0, 7);
+               Isa.Syscall 0 (* never chained; APL churn every 64 *);
+               Isa.Addi (2, 2, 1);
+               Isa.Blt (2, 3, loop) (* backward: speculated taken *);
+               Isa.Halt;
+             ]);
+        ignore
+          (Dipc_hw.Memory.place_code m.Machine.mem ~addr:callee
+             [ Isa.Addi (7, 7, 1); Isa.Ret ]);
+        let ctx =
+          Machine.new_ctx m ~pc:code ~sp_value:(stack + Layout.page_size)
+        in
+        Machine.run ~fuel:(superblock_iters * 40) m ctx;
+        (m, ctx, Machine.peek_word m ~addr:data))
+  in
+  {
+    b_name = "machine_superblock";
+    b_wall_s = wall;
+    b_sim_ns = ctx.Machine.cost;
+    b_events = ctx.Machine.instret;
+    b_instret = ctx.Machine.instret;
+    b_digest =
+      Printf.sprintf "instret=%d cost=%.0f mem=%d r7=%d" ctx.Machine.instret
+        ctx.Machine.cost final_word ctx.Machine.regs.(7);
+    b_metric_name = "minstr_per_s";
+    b_counters = machine_counters m ~instret:ctx.Machine.instret;
     b_metric = float_of_int ctx.Machine.instret /. wall /. 1e6;
   }
 
@@ -723,6 +832,7 @@ let bench_engine_timerstorm () =
     b_instret = 0;
     b_digest = Printf.sprintf "now=%.0f steps=%d acc=%d" now steps acc;
     b_metric_name = "events_per_s";
+    b_counters = [];
     b_metric = float_of_int steps /. wall;
   }
 
@@ -786,6 +896,7 @@ let bench_security backend posture load () =
     b_instret = 0;
     b_digest = digest;
     b_metric_name = "enforcement_ns";
+    b_counters = [];
     b_metric = cost;
   }
 
@@ -1052,6 +1163,7 @@ let bench_open ?(shards = 1) name prim arrival load () =
     b_instret = 0;
     b_digest = r.OL.r_digest;
     b_metric_name = "p99_ns";
+    b_counters = [];
     b_metric = Histogram.percentile r.OL.r_latency 99.;
   }
 
@@ -1099,6 +1211,7 @@ let bench_tasks ?check ?inject_seed ?shards () =
     ( "oltp_ideal_mem96",
       fun () -> bench_oltp ?check ?inject_seed "oltp_ideal_mem96" O.Ideal );
     ("machine_hotloop", fun () -> bench_machine_hotloop ());
+    ("machine_superblock", fun () -> bench_machine_superblock ());
     ("engine_timerstorm", fun () -> bench_engine_timerstorm ());
   |]
   |> fun core ->
@@ -1154,16 +1267,24 @@ let write_bench_json ?(jobs = 1) ?elapsed_s out
   Array.iteri
     (fun i o ->
       let r = o.Parallel.o_value in
+      (* The counters object is emitted in list order: the key sequence is
+         part of the dipc-bench/v1 contract and the counter-equality gate
+         compares cells positionally after matching names. *)
+      let counters =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) r.b_counters)
+      in
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"wall_s\": %.6f, \"sim_ns\": %.3f, \
          \"events\": %d, \"events_per_sec\": %.1f, \"instret\": %d, \
          \"sim_mips\": %.3f, \"minor_words\": %.0f, \
+         \"counters\": {%s}, \
          \"digest\": \"%s\", \"metric_name\": \"%s\", \"metric\": %.6f}%s\n"
         r.b_name r.b_wall_s r.b_sim_ns r.b_events
         (float_of_int r.b_events /. r.b_wall_s)
         r.b_instret
         (float_of_int r.b_instret /. r.b_wall_s /. 1e6)
-        o.Parallel.o_minor_words r.b_digest r.b_metric_name r.b_metric
+        o.Parallel.o_minor_words counters r.b_digest r.b_metric_name r.b_metric
         (if i = n - 1 then "" else ","))
     outcomes;
   Printf.fprintf oc "  ]\n}\n";

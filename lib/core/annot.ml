@@ -136,6 +136,11 @@ let resolve t resolver sym =
           ~props:(Isolation.effective_props ~posture:(System.posture t) sym.sym_props)
       in
       let addr = Loader.place_program t ~dom:caller_dom stub in
+      (* The stub placement just bumped the code generation, staling the
+         warm entries from [entry_request]; re-warm the stub and the
+         proxy it calls so the first invocation is fully compiled. *)
+      System.Machine.pretranslate t.System.machine ~pc:addr;
+      System.Machine.pretranslate t.System.machine ~pc:proxy.Entry.p_entry;
       sym.sym_stub <- Some addr;
       addr
 

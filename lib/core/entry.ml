@@ -142,4 +142,12 @@ let entry_request t ~caller ~caller_dom ~(entry : entry_handle)
         { p_entry = g.Proxy.g_entry; p_ret = g.Proxy.g_ret; p_config = config })
       requests
   in
+  (* Pre-translate every proxy entry into the superblock cache *after*
+     the whole set is generated (each [Proxy.generate] placement bumps
+     the code generation, so warming per-proxy would self-invalidate).
+     The first dIPC crossing then dispatches into already-compiled
+     code; a later code placement merely forces a retranslation. *)
+  Array.iter
+    (fun p -> System.Machine.pretranslate t.System.machine ~pc:p.p_entry)
+    proxies;
   { ps_dom = { System.dom_tag = p_tag; dom_perm = Perm.Call }; ps_proxies = proxies }

@@ -46,7 +46,54 @@ type block = {
   b_aplc_gen : int;
 }
 
-type ctx = {
+(* One unit of a superblock: a straight-line body (compiled to
+   direct-threaded closures over the context), an optional *chained*
+   terminator, and one speculated successor.  Only control flow whose
+   target is a translation-time constant is chained: direct [Jmp],
+   direct [Call], and conditional branches (speculated backward-taken /
+   forward-fall-through, the classic static heuristic).  [Ret], the
+   indirect jumps/calls, [Syscall], [Trap] and [Halt] always end the
+   chain — they either compute their target at run time, run foreign
+   code, or stop the machine.
+
+   [u_next] is the speculated successor pc and [u_next_idx] its unit
+   index within the same superblock (-1 = planned chain end: the
+   dispatcher takes over).  A [u_next_idx] pointing *backward* closes a
+   loop inside the superblock, so a hot loop executes with no cache
+   lookups at all.  [u_tag]/[u_priv] record the domain view the unit
+   was translated under; the junction re-checks them after the
+   transfer check because [Page_table.retag]/[set_protection] mutate
+   pages in place without bumping the table generation. *)
+type sunit = {
+  u_pc : int;
+  u_tag : int;
+  u_priv : bool;
+  u_len : int;
+  u_code : (ctx -> unit) array;  (* direct-threaded body *)
+  u_costs : float array;
+  u_term : Isa.instr option;  (* chained terminator, if any *)
+  u_term_code : ctx -> unit;  (* its compiled form (no-op when None) *)
+  u_term_pc : int;
+  u_term_cost : float;
+  u_next : int;
+  u_next_idx : int;
+}
+
+and superblock = {
+  s_pc : int;
+  s_tag : int;
+  s_priv : bool;
+  s_units : sunit array;
+  s_code_gen : int;
+  s_pt_gen : int;
+  s_apl_gen : int;
+      (* No APL-cache generation guard (unlike [block]): the cache is
+         per-context while superblocks are shared machine-wide, and the
+         guard was purely conservative anyway — bodies and junctions
+         consult APL-cache state live. *)
+}
+
+and ctx = {
   id : int;
   regs : int array;
   cregs : Capability.t option array;
@@ -91,6 +138,27 @@ type t = {
          tracer is off and no injector is installed); false forces the
          reference stepper throughout — the --no-block-cache triage
          escape hatch. *)
+  mutable superblocks : bool;
+      (* Under [block_cache]: chain blocks across direct jumps/calls
+         into superblocks with speculative continuations (the fastest
+         path, the default); false falls back to the PR 5 one-block-at-
+         a-time dispatch — the --no-superblocks triage escape hatch.
+         Ignored when [block_cache] is false. *)
+  sblocks : (int, superblock) Hashtbl.t;
+      (* superblock cache, keyed by entry pc; machine-wide (shared by
+         every context) so [pretranslate] can warm it before any thread
+         exists *)
+  mutable ctr_block_entries : int;
+      (* deterministic perf counters: translated-body entries (one per
+         superblock unit entered / per PR 5 block body executed)... *)
+  mutable ctr_sb_hits : int;  (* ...warm superblock dispatches... *)
+  mutable ctr_sb_translations : int;  (* ...superblocks (re)translated... *)
+  mutable ctr_side_exits : int;
+      (* ...and mid-chain exits: speculation misses and junction
+         tag/priv guard failures.  Pure functions of the simulated
+         execution — identical at any --jobs/--shards — and never part
+         of any digest (they are path-dependent by design: the
+         reference interpreter reports zeros). *)
   mutable posture : Fault.posture;
       (* Enforcement posture for authorization faults: Strict raises
          (the default), Audit counts + traces the would-be fault and
@@ -109,6 +177,13 @@ exception Out_of_fuel
 let default_block_cache = Atomic.make true
 
 let set_default_block_cache v = Atomic.set default_block_cache v
+
+(* Same contract for the superblock compiler (the --no-superblocks
+   escape hatch): flipped before any machine exists, sampled by
+   [create]. *)
+let default_superblocks = Atomic.make true
+
+let set_default_superblocks v = Atomic.set default_superblocks v
 
 (* Never returned: [tlb_page] starts at -1, which no address maps to. *)
 let tlb_dummy : Page_table.page =
@@ -137,11 +212,19 @@ let create () =
     tlb_entry = tlb_dummy;
     inject = None;
     block_cache = Atomic.get default_block_cache;
+    superblocks = Atomic.get default_superblocks;
+    sblocks = Hashtbl.create 64;
+    ctr_block_entries = 0;
+    ctr_sb_hits = 0;
+    ctr_sb_translations = 0;
+    ctr_side_exits = 0;
     posture = Fault.get_default_posture ();
     audited_faults = 0;
   }
 
 let set_block_cache m v = m.block_cache <- v
+
+let set_superblocks m v = m.superblocks <- v
 
 let set_posture m p = m.posture <- p
 
@@ -781,6 +864,347 @@ let find_block m ctx pc =
       Hashtbl.replace ctx.blocks pc b;
       b
 
+(* --- superblock dispatch (direct-threaded trace compiler) --- *)
+
+(* Compile one body instruction to a pre-specialized closure: operands,
+   own pc and fall-through successor are captured at translation time,
+   so the hot constructors pay no dispatch at all.  Each closure is an
+   exact transcription of the matching [exec_instr] arm — same check
+   order, same [ctx.pc] discipline (still the instruction's own address
+   while its checks run, advanced to [next] last), so faults carry the
+   same pc and denials replay identically.  Rare constructors fall back
+   to [exec_instr]. *)
+let compile_instr m instr ~pc ~next =
+  match instr with
+  | Isa.Nop -> fun ctx -> ctx.pc <- next
+  | Isa.Const (r, v) ->
+      fun ctx ->
+        ctx.regs.(r) <- v;
+        ctx.pc <- next
+  | Isa.Mov (d, s) ->
+      fun ctx ->
+        ctx.regs.(d) <- ctx.regs.(s);
+        ctx.pc <- next
+  | Isa.Add (d, a, b) ->
+      fun ctx ->
+        ctx.regs.(d) <- ctx.regs.(a) + ctx.regs.(b);
+        ctx.pc <- next
+  | Isa.Addi (d, a, i) ->
+      fun ctx ->
+        ctx.regs.(d) <- ctx.regs.(a) + i;
+        ctx.pc <- next
+  | Isa.Sub (d, a, b) ->
+      fun ctx ->
+        ctx.regs.(d) <- ctx.regs.(a) - ctx.regs.(b);
+        ctx.pc <- next
+  | Isa.Mul (d, a, b) ->
+      fun ctx ->
+        ctx.regs.(d) <- ctx.regs.(a) * ctx.regs.(b);
+        ctx.pc <- next
+  | Isa.Shli (d, a, i) ->
+      fun ctx ->
+        ctx.regs.(d) <- ctx.regs.(a) lsl i;
+        ctx.pc <- next
+  | Isa.Load (d, b, o) ->
+      fun ctx ->
+        let addr = ctx.regs.(b) + o in
+        check_data m ctx ~addr ~len:word ~perm:Perm.Read;
+        ctx.regs.(d) <- Memory.load_word m.mem addr;
+        ctx.pc <- next
+  | Isa.Store (b, o, s) ->
+      fun ctx ->
+        let addr = ctx.regs.(b) + o in
+        check_data m ctx ~addr ~len:word ~perm:Perm.Write;
+        Memory.store_word m.mem addr ctx.regs.(s);
+        ctx.pc <- next
+  | Isa.WrFsBase r ->
+      fun ctx ->
+        ctx.fsbase <- ctx.regs.(r);
+        ctx.pc <- next
+  | Isa.RdFsBase r ->
+      fun ctx ->
+        ctx.regs.(r) <- ctx.fsbase;
+        ctx.pc <- next
+  | _ -> fun ctx -> exec_instr m ctx instr ~pc ~next
+
+(* Chained terminators get the same treatment: branches and direct
+   jumps compile to a pc assignment (the junction then compares the
+   actual pc against the speculation); [Call] and anything else fall
+   back to [exec_instr]. *)
+let compile_term m instr ~pc ~next =
+  match instr with
+  | Isa.Jmp t -> fun ctx -> ctx.pc <- t
+  | Isa.Beq (a, b, t) ->
+      fun ctx -> ctx.pc <- (if ctx.regs.(a) = ctx.regs.(b) then t else next)
+  | Isa.Bne (a, b, t) ->
+      fun ctx -> ctx.pc <- (if ctx.regs.(a) <> ctx.regs.(b) then t else next)
+  | Isa.Blt (a, b, t) ->
+      fun ctx -> ctx.pc <- (if ctx.regs.(a) < ctx.regs.(b) then t else next)
+  | Isa.Bge (a, b, t) ->
+      fun ctx -> ctx.pc <- (if ctx.regs.(a) >= ctx.regs.(b) then t else next)
+  | Isa.Beqz (a, t) ->
+      fun ctx -> ctx.pc <- (if ctx.regs.(a) = 0 then t else next)
+  | Isa.Bnez (a, t) ->
+      fun ctx -> ctx.pc <- (if ctx.regs.(a) <> 0 then t else next)
+  | _ -> fun ctx -> exec_instr m ctx instr ~pc ~next
+
+let term_nop (_ : ctx) = ()
+
+(* The speculated successor of a chainable terminator at [pc], or None
+   for the unchainable ones (indirect targets, Syscall/Trap/Halt/Ret).
+   Conditional branches speculate backward-taken / forward-fall-through
+   — loops chain onto themselves, forward guards chain onto the common
+   path, and the other arm side-exits at run time. *)
+let chain_target ~pc = function
+  | Isa.Jmp t | Isa.Call t -> Some t
+  | Isa.Beq (_, _, t)
+  | Isa.Bne (_, _, t)
+  | Isa.Blt (_, _, t)
+  | Isa.Bge (_, _, t) ->
+      Some (if t <= pc then t else pc + Isa.instr_bytes)
+  | Isa.Beqz (_, t) | Isa.Bnez (_, t) ->
+      Some (if t <= pc then t else pc + Isa.instr_bytes)
+  | _ -> None
+
+let max_superblock_units = 32
+
+(* Translate the superblock entered at [pc] under domain view
+   [tag]/[priv]: follow the speculated chain — body, chained
+   terminator, successor — until it reaches an unchainable terminator,
+   an unmapped/non-executable successor, a pc already in this
+   superblock (closing a loop), or the unit limit.  Pure reads plus
+   closure construction: [Memory.fetch] and [Page_table.find] are what
+   the reference path performs anyway, so translation is invisible to
+   digests.  Successor domain views are read from the page table here
+   and re-checked at the junction at run time (pages mutate in place). *)
+let translate_superblock m ~pc ~tag ~priv =
+  let units = ref [] in
+  let count = ref 0 in
+  let index = Hashtbl.create 8 in
+  let cur = ref (Some (pc, tag, priv)) in
+  while !cur <> None do
+    let upc, utag, upriv =
+      match !cur with Some c -> c | None -> assert false
+    in
+    Hashtbl.replace index upc !count;
+    (* straight-line body: same decode rule as [translate] *)
+    let page0 = Layout.page_of upc in
+    let rev = ref [] in
+    let n = ref 0 in
+    let p = ref upc in
+    let stop = ref false in
+    while not !stop do
+      if Layout.page_of !p <> page0 then stop := true
+      else
+        match Memory.fetch m.mem !p with
+        | Some i when not (is_terminator i) ->
+            rev := i :: !rev;
+            incr n;
+            p := !p + Isa.instr_bytes
+        | Some _ | None -> stop := true
+    done;
+    let instrs = Array.of_list (List.rev !rev) in
+    let term_pc = !p in
+    let term, succ =
+      if Layout.page_of term_pc <> page0 then
+        (* the body ran off the page end: a fall-through junction — no
+           terminator, the successor is the next page's first slot *)
+        (None, Some term_pc)
+      else
+        match Memory.fetch m.mem term_pc with
+        | None -> (None, None)
+        | Some i -> (
+            match chain_target ~pc:term_pc i with
+            | Some t -> (Some i, Some t)
+            | None -> (None, None))
+    in
+    let u_next, u_next_idx, continue_at =
+      match succ with
+      | None -> (-1, -1, None)
+      | Some next_pc -> (
+          match Hashtbl.find_opt index next_pc with
+          | Some idx -> (next_pc, idx, None) (* loop closed *)
+          | None ->
+              if !count + 1 >= max_superblock_units then (-1, -1, None)
+              else (
+                match Page_table.find m.page_table next_pc with
+                | Some page when page.Page_table.executable ->
+                    let ntag, npriv =
+                      if Layout.page_of next_pc = page0 then (utag, upriv)
+                      else (page.Page_table.tag, page.Page_table.priv_cap)
+                    in
+                    (next_pc, !count + 1, Some (next_pc, ntag, npriv))
+                | Some _ | None -> (-1, -1, None)))
+    in
+    let u =
+      {
+        u_pc = upc;
+        u_tag = utag;
+        u_priv = upriv;
+        u_len = !n;
+        u_code =
+          Array.mapi
+            (fun i instr ->
+              let ipc = upc + (i * Isa.instr_bytes) in
+              compile_instr m instr ~pc:ipc ~next:(ipc + Isa.instr_bytes))
+            instrs;
+        u_costs = Array.map Isa.cost instrs;
+        u_term = term;
+        u_term_code =
+          (match term with
+          | Some i ->
+              compile_term m i ~pc:term_pc ~next:(term_pc + Isa.instr_bytes)
+          | None -> term_nop);
+        u_term_pc = term_pc;
+        u_term_cost = (match term with Some i -> Isa.cost i | None -> 0.);
+        u_next;
+        u_next_idx;
+      }
+    in
+    units := u :: !units;
+    incr count;
+    cur := continue_at
+  done;
+  {
+    s_pc = pc;
+    s_tag = tag;
+    s_priv = priv;
+    s_units = Array.of_list (List.rev !units);
+    s_code_gen = Memory.code_generation m.mem;
+    s_pt_gen = Page_table.generation m.page_table;
+    s_apl_gen = Apl.generation m.apl;
+  }
+
+let find_superblock m ctx pc =
+  match Hashtbl.find_opt m.sblocks pc with
+  | Some sb
+    when sb.s_tag = ctx.cur_tag && sb.s_priv = ctx.priv
+         && sb.s_code_gen = Memory.code_generation m.mem
+         && sb.s_pt_gen = Page_table.generation m.page_table
+         && sb.s_apl_gen = Apl.generation m.apl ->
+      m.ctr_sb_hits <- m.ctr_sb_hits + 1;
+      sb
+  | _ ->
+      let sb = translate_superblock m ~pc ~tag:ctx.cur_tag ~priv:ctx.priv in
+      m.ctr_sb_translations <- m.ctr_sb_translations + 1;
+      Hashtbl.replace m.sblocks pc sb;
+      sb
+
+(* Execute a superblock from its entry unit until a planned chain end, a
+   side exit, fuel exhaustion or a halt.  The caller (the dispatcher in
+   [run]) guarantees [!remaining >= 1], [ctx] not halted, [ctx.pc =
+   sb.s_pc] and the transfer check for the entry already performed.
+
+   Charge order replays the reference interpreter exactly: per
+   instruction one [instret] bump, one [cost +. c] and one Breakdown
+   cell add — same floats, same sequence — then the effect closure.
+   The attribution category is re-resolved per unit entry (attr_of_tag
+   is mutable machine state), exactly as the PR 5 block path hoists it
+   per block execution.
+
+   The junction protocol after a unit's terminator (or fall-through):
+   stop on a planned end; stop (side exit) when the actual [ctx.pc]
+   differs from the speculated successor; stop *before* the successor's
+   transfer check when fuel is exhausted — the reference loop raises
+   Out_of_fuel before performing the next fetch's checks, so running
+   the transfer check (a posture fault, an APL-cache refill charge)
+   with zero budget would diverge; otherwise run [check_transfer] (the
+   exact reference crossing: faults, refill charges, injector-free by
+   [block_path_ok]) and re-check the translated tag/priv view — a
+   mismatch (in-place retag/reprotection) side-exits to the dispatcher,
+   which retranslates under the live view.
+
+   Nothing inside a superblock can invalidate it mid-flight: Syscall
+   and Trap (the only instructions that reach foreign code) are never
+   chained, and data stores cannot touch the separate code store — so
+   generation counters are checked once at entry, not per junction. *)
+let exec_superblock m ctx sb remaining =
+  let units = sb.s_units in
+  let idx = ref 0 in
+  (* The attribution category is a function of [cur_tag] and the
+     (mutable) [attr_of_tag] — both can only change across a junction
+     transfer check while a superblock runs (syscalls are never
+     chained), so resolve once here and again only after a crossing.
+     A self-looping unit therefore charges a whole hot loop without a
+     single closure re-resolution. *)
+  let cat_i = ref (Breakdown.category_index (m.attr_of_tag ctx.cur_tag)) in
+  let continue_ = ref true in
+  while !continue_ do
+    let u = Array.unsafe_get units !idx in
+    m.ctr_block_entries <- m.ctr_block_entries + 1;
+    let k = if u.u_len < !remaining then u.u_len else !remaining in
+    remaining := !remaining - k;
+    let ci = !cat_i in
+    let costs = u.u_costs and code = u.u_code in
+    for i = 0 to k - 1 do
+      ctx.instret <- ctx.instret + 1;
+      let c = Array.unsafe_get costs i in
+      ctx.cost <- ctx.cost +. c;
+      Breakdown.charge_idx ctx.breakdown ci c;
+      (Array.unsafe_get code i) ctx
+    done;
+    if k < u.u_len then continue_ := false (* out of fuel mid-body *)
+    else begin
+      (match u.u_term with
+      | Some _ ->
+          if !remaining <= 0 then continue_ := false
+          else begin
+            decr remaining;
+            ctx.instret <- ctx.instret + 1;
+            let c = u.u_term_cost in
+            ctx.cost <- ctx.cost +. c;
+            Breakdown.charge_idx ctx.breakdown ci c;
+            u.u_term_code ctx
+          end
+      | None -> ());
+      if !continue_ then
+        if u.u_next_idx < 0 || ctx.halted then continue_ := false
+        else if ctx.pc <> u.u_next then begin
+          m.ctr_side_exits <- m.ctr_side_exits + 1;
+          continue_ := false
+        end
+        else if !remaining <= 0 then continue_ := false
+        else begin
+          let v = Array.unsafe_get units u.u_next_idx in
+          if Layout.page_of ctx.pc <> ctx.cur_page then begin
+            check_transfer m ctx ctx.pc;
+            if ctx.cur_tag <> v.u_tag || ctx.priv <> v.u_priv then begin
+              m.ctr_side_exits <- m.ctr_side_exits + 1;
+              continue_ := false
+            end
+            else begin
+              cat_i := Breakdown.category_index (m.attr_of_tag ctx.cur_tag);
+              idx := u.u_next_idx
+            end
+          end
+          else if ctx.cur_tag <> v.u_tag || ctx.priv <> v.u_priv then begin
+            m.ctr_side_exits <- m.ctr_side_exits + 1;
+            continue_ := false
+          end
+          else idx := u.u_next_idx
+        end
+    end
+  done
+
+(* Warm the superblock cache for an entry point before any thread runs
+   it — called at proxy/template generation time so the first dIPC
+   crossing dispatches into already-compiled code.  A no-op unless both
+   fast paths are enabled, or when [pc] is unmapped/non-executable.
+   The warm entry stays valid only until the next code placement or
+   table change bumps a generation (callers should pretranslate after
+   their last [place_code]); a stale entry merely retranslates. *)
+let pretranslate m ~pc =
+  if m.block_cache && m.superblocks then
+    match Page_table.find m.page_table pc with
+    | Some page when page.Page_table.executable ->
+        let sb =
+          translate_superblock m ~pc ~tag:page.Page_table.tag
+            ~priv:page.Page_table.priv_cap
+        in
+        m.ctr_sb_translations <- m.ctr_sb_translations + 1;
+        Hashtbl.replace m.sblocks pc sb
+    | Some _ | None -> ()
+
 (* The fast path is only observably identical to the reference stepper
    when nothing watches individual steps: tracing emits per-instruction
    Charge events (timestamps interleave with crossing events) and an
@@ -800,7 +1224,25 @@ let run ?(fuel = 10_000_000) m ctx =
         decr remaining;
         running := false
       end
+      else if m.superblocks then begin
+        let pc = ctx.pc in
+        if Layout.page_of pc <> ctx.cur_page then check_transfer m ctx pc;
+        let sb = find_superblock m ctx pc in
+        let u0 = Array.unsafe_get sb.s_units 0 in
+        if u0.u_len = 0 && u0.u_term = None then begin
+          (* Unchainable terminator or unfetchable slot at the entry:
+             one reference step (the transfer check above already ran,
+             [step_unlogged] will not repeat it). *)
+          decr remaining;
+          match step_unlogged m ctx with
+          | `Halted -> running := false
+          | `Running -> ()
+        end
+        else exec_superblock m ctx sb remaining
+      end
       else begin
+        (* PR 5 one-block-at-a-time dispatch, kept verbatim: the
+           --no-superblocks triage path. *)
         let pc = ctx.pc in
         if Layout.page_of pc <> ctx.cur_page then check_transfer m ctx pc;
         let b = find_block m ctx pc in
@@ -824,6 +1266,7 @@ let run ?(fuel = 10_000_000) m ctx =
              Breakdown cell add per instruction, same floats, same
              sequence (float summation order is observable in Breakdown
              totals). *)
+          m.ctr_block_entries <- m.ctr_block_entries + 1;
           let k = if b.b_len < !remaining then b.b_len else !remaining in
           remaining := !remaining - k;
           let cat_i = Breakdown.category_index (m.attr_of_tag ctx.cur_tag) in

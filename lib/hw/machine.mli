@@ -15,6 +15,12 @@ val apl_cache_refill_cost : float
     guarded by code/page-table/APL generation counters). *)
 type block
 
+(** A superblock: basic blocks chained across direct jumps/calls and
+    speculated conditional-branch arms, compiled to direct-threaded
+    closures, with side exits back to the dispatcher when a speculation
+    or a tag/priv junction guard fails mid-chain. *)
+type superblock
+
 (** One hardware thread's execution context. *)
 type ctx = {
   id : int;  (** identity for synchronous-capability scoping *)
@@ -59,6 +65,25 @@ type t = {
       (** [run] uses translated-block dispatch when true (default); the
           tracer being enabled or an injector being installed overrides
           this per run.  See {!set_block_cache}. *)
+  mutable superblocks : bool;
+      (** under [block_cache]: superblock (trace-compiled) dispatch when
+          true (default), the PR 5 one-block-at-a-time path when false;
+          see {!set_superblocks} *)
+  sblocks : (int, superblock) Hashtbl.t;
+      (** superblock cache, keyed by entry pc; machine-wide so
+          {!pretranslate} can warm it before any context exists *)
+  mutable ctr_block_entries : int;
+      (** deterministic perf counters — pure functions of the simulated
+          execution, identical at any [--jobs]/[--shards], and never
+          part of any digest (they are dispatch-path-dependent by
+          design: the reference interpreter reports zeros).
+          [ctr_block_entries] counts translated-body entries (one per
+          superblock unit entered / per block body executed) *)
+  mutable ctr_sb_hits : int;  (** warm superblock dispatches *)
+  mutable ctr_sb_translations : int;  (** superblocks (re)translated *)
+  mutable ctr_side_exits : int;
+      (** mid-chain exits: speculation misses and junction tag/priv
+          guard failures *)
   mutable posture : Fault.posture;
       (** enforcement posture for authorization faults (sampled from
           {!Fault.get_default_posture} at creation); see {!set_posture} *)
@@ -87,6 +112,24 @@ val set_posture : t -> Fault.posture -> unit
     the [--no-block-cache] escape hatch for experiment code that builds
     machines internally. *)
 val set_default_block_cache : bool -> unit
+
+(** Enable/disable superblock (trace-compiled) dispatch on one machine;
+    with it off (and [block_cache] on) [run] uses the PR 5
+    one-block-at-a-time path.  Results, costs and digests are identical
+    in every mode — triage only. *)
+val set_superblocks : t -> bool -> unit
+
+(** Process-wide default for {!create}: the [--no-superblocks] escape
+    hatch, mirroring {!set_default_block_cache}. *)
+val set_default_superblocks : bool -> unit
+
+(** Warm the superblock cache for the entry point at [pc] (a no-op
+    unless both fast paths are enabled, or when [pc] is unmapped or not
+    executable).  Called at proxy/template generation time so the first
+    dIPC crossing dispatches into already-compiled code; only effective
+    if no later [Memory.place_code]/table change bumps a generation —
+    a stale warm entry merely retranslates on first dispatch. *)
+val pretranslate : t -> pc:int -> unit
 
 val set_syscall_handler : t -> (ctx -> int -> unit) -> unit
 

@@ -1,13 +1,17 @@
-(* Translated-block cache vs. the reference stepper.
+(* Translated-block cache and superblock compiler vs. the reference
+   stepper.
 
    [Machine.run] dispatches straight-line code through decoded basic
-   blocks; these tests pin the contract that the fast path is
-   *observationally identical* to stepping: same registers, memory,
-   instret, cost, Breakdown totals (float-sum order included), same
-   faults at the same pcs, same Out_of_fuel truncation points, and same
-   replay digests — plus directed tests that every generation guard
-   (code rewrite, page remap, APL revoke, APL-cache flush) actually
-   invalidates stale translations. *)
+   blocks (PR 5) and, by default, through chained superblocks with
+   speculative continuations; these tests pin the contract that both
+   fast paths are *observationally identical* to stepping: same
+   registers, memory, instret, cost, Breakdown totals (float-sum order
+   included), same faults at the same pcs, same Out_of_fuel truncation
+   points, and same replay digests — plus directed tests that every
+   generation guard (code rewrite, page remap, APL revoke, APL-cache
+   flush) invalidates stale translations, and that every superblock
+   side-exit class (speculation miss, in-place retag, fuel exhaustion
+   at a junction) falls back to the interpreter without divergence. *)
 
 module Machine = Dipc_hw.Machine
 module Memory = Dipc_hw.Memory
@@ -23,42 +27,84 @@ module Trace = Dipc_sim.Trace
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* The three dispatch modes under differential test.  Superblocks ride
+   on top of the basic-block cache, so the lattice is: reference
+   stepper < PR 5 block cache < superblock compiler. *)
+type mode = Reference | Blocks | Superblocks
+
+let all_modes = [ Reference; Blocks; Superblocks ]
+
+let mode_name = function
+  | Reference -> "reference"
+  | Blocks -> "blocks"
+  | Superblocks -> "superblocks"
+
 (* --- a small fixed universe for random programs --- *)
 
 let code0 = 0x100000 (* 2 executable pages, tag a *)
 
 let callee = 0x110000 (* 1 executable page, tag b: Addi; Ret *)
 
+let island = 0x120000 (* 1 executable page, tag d: no grants touch it *)
+
 let data = 0x200000 (* 1 rw page, tag a *)
 
 let stack = 0x300000 (* 1 rw page, tag a *)
 
-type universe = { m : Machine.t; tag_a : int; tag_b : int; tag_c : int }
+type universe = {
+  m : Machine.t;
+  tag_a : int;
+  tag_b : int;
+  tag_b2 : int; (* spare callee identity for in-place retag tests *)
+  tag_c : int;
+  tag_d : int; (* the island's unreachable tag *)
+}
 
-(* Build the universe and load [prog] at [code0].  [block] selects the
-   dispatch mode under test. *)
-let setup ~block prog =
+(* Build the universe and load [prog] at [code0].  [mode] selects the
+   dispatch mode under test.  The default syscall handler exercises
+   mid-run invalidation from *inside* a run: syscall 0 rewrites code on
+   the second code page (bumps the code generation under any warm
+   translation) and syscall 1 revokes a->b (bumps the APL generation
+   and makes later calls to [callee] fault) — both deterministic, so
+   the differential properties cover them like any other instruction. *)
+let setup ~mode prog =
   let m = Machine.create () in
-  Machine.set_block_cache m block;
+  Machine.set_block_cache m (mode <> Reference);
+  Machine.set_superblocks m (mode = Superblocks);
   let tag_a = Apl.fresh_tag m.Machine.apl in
   let tag_b = Apl.fresh_tag m.Machine.apl in
+  let tag_b2 = Apl.fresh_tag m.Machine.apl in
   let tag_c = Apl.fresh_tag m.Machine.apl in
+  let tag_d = Apl.fresh_tag m.Machine.apl in
   Page_table.map m.Machine.page_table ~addr:code0 ~count:2 ~tag:tag_a
     ~writable:false ~executable:true ();
   Page_table.map m.Machine.page_table ~addr:callee ~count:1 ~tag:tag_b
     ~writable:false ~executable:true ();
+  Page_table.map m.Machine.page_table ~addr:island ~count:1 ~tag:tag_d
+    ~writable:false ~executable:true ();
   Page_table.map m.Machine.page_table ~addr:data ~count:1 ~tag:tag_c ();
   Page_table.map m.Machine.page_table ~addr:stack ~count:1 ~tag:tag_a ();
   (* a may call b's (aligned) entry points; b may return anywhere into a
-     and read a's stack. *)
+     and read a's stack.  The spare identity b2 gets the same grants so
+     an in-place retag of the callee page stays executable. *)
   Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_b Perm.Call;
   Apl.grant m.Machine.apl ~src:tag_b ~dst:tag_a Perm.Read;
+  Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_b2 Perm.Call;
+  Apl.grant m.Machine.apl ~src:tag_b2 ~dst:tag_a Perm.Read;
   (* the data page is its own domain, reachable from a but not from b *)
   Apl.grant m.Machine.apl ~src:tag_a ~dst:tag_c Perm.Owner;
+  Machine.set_syscall_handler m (fun _ctx n ->
+      if n mod 2 = 0 then
+        ignore
+          (Memory.place_code m.Machine.mem
+             ~addr:(code0 + Layout.page_size + 2048)
+             [ Isa.Nop; Isa.Halt ])
+      else Apl.revoke m.Machine.apl ~src:tag_a ~dst:tag_b);
   ignore (Memory.place_code m.Machine.mem ~addr:code0 prog);
   ignore
     (Memory.place_code m.Machine.mem ~addr:callee [ Isa.Addi (2, 2, 7); Isa.Ret ]);
-  { m; tag_a; tag_b; tag_c }
+  ignore (Memory.place_code m.Machine.mem ~addr:island [ Isa.Halt ]);
+  { m; tag_a; tag_b; tag_b2; tag_c; tag_d }
 
 let fresh_ctx u =
   Machine.new_ctx u.m ~pc:code0 ~sp_value:(stack + Layout.page_size)
@@ -68,12 +114,15 @@ let fresh_ctx u =
 (* Each abstract op is one instruction; branch targets only point
    forward (to a later slot or the trailing Halt), so every program
    terminates.  Faulting programs are kept: faults must be identical on
-   both paths. *)
+   all paths.  Registers 6 and 7 are preset by the preamble (the Halt
+   address and the callee entry) so the indirect-jump selectors always
+   target valid code; the superblock compiler never chains Jmpr/Callr,
+   making them block-boundary stress. *)
 let instr_of ~i ~n (sel, a, b, c) =
   let a = abs a and b = abs b and c = abs c in
   let r k = 2 + (k mod 4) in
   let fwd k = code0 + (Isa.instr_bytes * (i + 1 + (k mod (n - i)))) in
-  match sel mod 16 with
+  match sel mod 19 with
   | 0 -> Isa.Const (r a, b)
   | 1 -> Isa.Mov (r a, r b)
   | 2 -> Isa.Add (r a, r b, r c)
@@ -88,12 +137,19 @@ let instr_of ~i ~n (sel, a, b, c) =
   | 13 -> Isa.Beqz (r a, fwd c)
   | 14 -> Isa.Jmp (fwd c)
   | 15 -> Isa.Call callee
+  | 16 -> Isa.Jmpr 6 (* indirect jump to the trailing Halt *)
+  | 17 -> Isa.Callr 7 (* indirect call to the callee entry *)
+  | 18 -> Isa.Syscall (b mod 2) (* mid-run rewrite / APL revoke *)
   | _ -> Isa.Nop
 
 let prog_of_ops ops =
   let n = List.length ops in
-  (* reg 1 = data-page base for every Load/Store *)
-  (Isa.Const (1, data) :: List.mapi (fun i op -> instr_of ~i:(i + 1) ~n:(n + 1) op) ops)
+  let slots = n + 3 (* preamble *) + 1 (* Halt *) in
+  let halt_addr = code0 + (Isa.instr_bytes * (slots - 1)) in
+  (* reg 1 = data-page base for every Load/Store; reg 6 = Halt address
+     for Jmpr; reg 7 = callee entry for Callr *)
+  (Isa.Const (1, data) :: Isa.Const (6, halt_addr) :: Isa.Const (7, callee)
+  :: List.mapi (fun i op -> instr_of ~i:(i + 3) ~n:(slots - 1) op) ops)
   @ [ Isa.Halt ]
 
 let ops_gen =
@@ -110,7 +166,7 @@ let run_outcome ?fuel u ctx =
   | exception Fault.Fault f -> Fault f
   | exception Machine.Out_of_fuel -> Fuel
 
-(* Everything the block path could plausibly get wrong, in one
+(* Everything the fast paths could plausibly get wrong, in one
    comparable value.  Floats are compared exactly: bit-identical sums
    are part of the contract. *)
 let observe u (ctx : Machine.ctx) outcome =
@@ -132,8 +188,8 @@ let observe u (ctx : Machine.ctx) outcome =
     Breakdown.to_list ctx.Machine.breakdown,
     (words data, stack_top) )
 
-let run_one ~block ?fuel prog =
-  let u = setup ~block prog in
+let run_one ~mode ?fuel prog =
+  let u = setup ~mode prog in
   let ctx = fresh_ctx u in
   let outcome = run_outcome ?fuel u ctx in
   observe u ctx outcome
@@ -141,12 +197,14 @@ let run_one ~block ?fuel prog =
 (* --- the differential properties --- *)
 
 let prop_differential =
-  QCheck.Test.make ~name:"block path == reference stepper (random programs)"
-    ~count:300
+  QCheck.Test.make
+    ~name:"superblocks == blocks == reference (random programs)" ~count:300
     QCheck.(pair ops_gen (frequency [ (4, always 100_000); (1, int_range 1 40) ]))
     (fun (ops, fuel) ->
       let prog = prog_of_ops ops in
-      run_one ~block:true ~fuel prog = run_one ~block:false ~fuel prog)
+      let reference = run_one ~mode:Reference ~fuel prog in
+      run_one ~mode:Blocks ~fuel prog = reference
+      && run_one ~mode:Superblocks ~fuel prog = reference)
 
 let prop_differential_traced_digest =
   QCheck.Test.make
@@ -154,25 +212,29 @@ let prop_differential_traced_digest =
     ~count:60 ops_gen
     (fun ops ->
       let prog = prog_of_ops ops in
-      let traced block =
-        let u = setup ~block prog in
+      let traced mode =
+        let u = setup ~mode prog in
         let tr = Trace.create () in
         Machine.set_trace u.m tr;
         let ctx = fresh_ctx u in
         let outcome = run_outcome u ctx in
         (observe u ctx outcome, Trace.digest_hex tr)
       in
-      let (s_on, d_on) = traced true and (s_off, d_off) = traced false in
-      (* traced runs agree with each other and with the untraced block run *)
-      s_on = s_off && d_on = d_off && s_on = run_one ~block:true prog)
+      match List.map traced all_modes with
+      | [ (s_ref, d_ref); (s_blk, d_blk); (s_sb, d_sb) ] ->
+          (* traced runs agree with each other and with the untraced
+             superblock run *)
+          s_ref = s_blk && s_ref = s_sb && d_ref = d_blk && d_ref = d_sb
+          && s_ref = run_one ~mode:Superblocks prog
+      | _ -> false)
 
 let prop_self_modifying =
   QCheck.Test.make
     ~name:"place_code between runs invalidates stale blocks" ~count:100
     QCheck.(pair ops_gen ops_gen)
     (fun (ops1, ops2) ->
-      let both block =
-        let u = setup ~block (prog_of_ops ops1) in
+      let both mode =
+        let u = setup ~mode (prog_of_ops ops1) in
         let c1 = fresh_ctx u in
         let o1 = run_outcome u c1 in
         let s1 = observe u c1 o1 in
@@ -183,19 +245,27 @@ let prop_self_modifying =
         let o2 = run_outcome u c2 in
         (s1, observe u c2 o2)
       in
-      both true = both false)
+      let reference = both Reference in
+      both Blocks = reference && both Superblocks = reference)
 
 (* --- directed invalidation tests --- *)
 
-let check_both name f =
-  Alcotest.(check bool) name true (f true = f false)
+(* Run [f] under every mode and check the fast paths against the
+   reference result. *)
+let check_all name f =
+  let reference = f Reference in
+  Alcotest.(check bool) (name ^ " (blocks)") true (f Blocks = reference);
+  Alcotest.(check bool)
+    (name ^ " (superblocks)")
+    true
+    (f Superblocks = reference)
 
 let test_code_rewrite () =
   let prog v =
     [ Isa.Const (2, v); Isa.Addi (2, 2, 1); Isa.Addi (2, 2, 1); Isa.Halt ]
   in
-  let run block =
-    let u = setup ~block (prog 10) in
+  let run mode =
+    let u = setup ~mode (prog 10) in
     let c1 = fresh_ctx u in
     let (_ : outcome) = run_outcome u c1 in
     ignore (Memory.place_code u.m.Machine.mem ~addr:code0 (prog 100));
@@ -204,14 +274,17 @@ let test_code_rewrite () =
     (c1.Machine.regs.(2), c2.Machine.regs.(2))
   in
   (* the second run must execute the rewritten constants *)
-  Alcotest.(check (pair int int)) "block cache sees rewritten code" (12, 102)
-    (run true);
-  Alcotest.(check (pair int int)) "reference agrees" (12, 102) (run false)
+  List.iter
+    (fun mode ->
+      Alcotest.(check (pair int int))
+        (mode_name mode ^ " sees rewritten code")
+        (12, 102) (run mode))
+    all_modes
 
 let test_page_remap () =
   let prog = [ Isa.Const (1, data); Isa.Load (2, 1, 0); Isa.Halt ] in
-  let run block =
-    let u = setup ~block prog in
+  let run mode =
+    let u = setup ~mode prog in
     Memory.store_word u.m.Machine.mem data 77;
     let c1 = fresh_ctx u in
     let o1 = run_outcome u c1 in
@@ -232,34 +305,34 @@ let test_page_remap () =
     | Fault { Fault.kind = Fault.No_permission _; _ } -> ()
     | _ -> Alcotest.fail (name ^ ": remapped run must fault on the load")
   in
-  check "blocks" (run true);
-  check_both "remap behaves identically on both paths" run
+  check "superblocks" (run Superblocks);
+  check_all "remap behaves identically on all paths" run
 
 let test_apl_revoke_midrun () =
   (* the syscall handler revokes a->b mid-run: the Call that worked
-     before the syscall must fault after it, identically on both paths *)
+     before the syscall must fault after it, identically on all paths *)
   let prog =
     [
       Isa.Const (1, data);
       Isa.Call callee;
-      Isa.Syscall 0;
+      Isa.Syscall 1;
       Isa.Call callee;
       Isa.Halt;
     ]
   in
-  let run block =
-    let u = setup ~block prog in
+  let run mode =
+    let u = setup ~mode prog in
     Machine.set_syscall_handler u.m (fun _ctx _n ->
         Apl.revoke u.m.Machine.apl ~src:u.tag_a ~dst:u.tag_b);
     let ctx = fresh_ctx u in
     let o = run_outcome u ctx in
     (o, ctx.Machine.regs.(2), ctx.Machine.instret)
   in
-  (match run true with
+  (match run Superblocks with
   | Fault { Fault.kind = Fault.No_permission _; _ }, r2, _ ->
       Alcotest.(check int) "first call executed the callee" 7 r2
   | _ -> Alcotest.fail "revoked call must fault");
-  check_both "APL revoke behaves identically on both paths" run
+  check_all "APL revoke behaves identically on all paths" run
 
 let test_apl_cache_flush_midrun () =
   let prog =
@@ -271,8 +344,8 @@ let test_apl_cache_flush_midrun () =
       Isa.Halt;
     ]
   in
-  let run block =
-    let u = setup ~block prog in
+  let run mode =
+    let u = setup ~mode prog in
     Machine.set_syscall_handler u.m (fun ctx _n ->
         (* deliberate flush: bumps the per-thread cache generation, so a
            warm block translated before the syscall is retranslated *)
@@ -281,10 +354,10 @@ let test_apl_cache_flush_midrun () =
     let o = run_outcome u ctx in
     (o, ctx.Machine.regs.(2), ctx.Machine.cost)
   in
-  (match run true with
+  (match run Superblocks with
   | Done, 7, _ -> ()
   | _ -> Alcotest.fail "flushed run must still complete with reg2 = 7");
-  check_both "APL-cache flush behaves identically on both paths" run
+  check_all "APL-cache flush behaves identically on all paths" run
 
 let test_fuel_truncation () =
   (* a tight loop, fuel stops mid-block: the truncation instruction must
@@ -302,18 +375,22 @@ let test_fuel_truncation () =
       Isa.Halt;
     ]
   in
-  let run block fuel =
-    let u = setup ~block prog in
+  let run mode fuel =
+    let u = setup ~mode prog in
     let ctx = fresh_ctx u in
     let o = run_outcome ~fuel u ctx in
     (o, ctx.Machine.pc, ctx.Machine.instret, ctx.Machine.cost)
   in
   for fuel = 1 to 60 do
-    let (o, _, _, _) as on = run true fuel in
+    let (o, _, _, _) as reference = run Reference fuel in
     Alcotest.(check bool)
-      (Printf.sprintf "fuel=%d truncates identically" fuel)
+      (Printf.sprintf "fuel=%d truncates identically (blocks)" fuel)
       true
-      (on = run false fuel);
+      (run Blocks fuel = reference);
+    Alcotest.(check bool)
+      (Printf.sprintf "fuel=%d truncates identically (superblocks)" fuel)
+      true
+      (run Superblocks fuel = reference);
     if fuel < 20 then
       Alcotest.(check bool) (Printf.sprintf "fuel=%d runs out" fuel) true (o = Fuel)
   done
@@ -321,10 +398,11 @@ let test_fuel_truncation () =
 let test_page_boundary () =
   (* straight-line code crossing an intra-domain page boundary: the
      translation stops at the boundary, the next block picks up on the
-     far page, and no domain crossing happens (same tag) *)
+     far page (the superblock chains across it as a fall-through
+     junction), and no domain crossing happens (same tag) *)
   let start = code0 + Layout.page_size - (4 * Isa.instr_bytes) in
-  let run block =
-    let u = setup ~block [ Isa.Halt ] in
+  let run mode =
+    let u = setup ~mode [ Isa.Halt ] in
     ignore
       (Memory.place_code u.m.Machine.mem ~addr:start
          [
@@ -342,16 +420,145 @@ let test_page_boundary () =
     (o, ctx.Machine.regs.(2), ctx.Machine.instret)
   in
   Alcotest.(check bool) "crosses the boundary" true
-    (run true = (Done, 111111, 7));
-  Alcotest.(check bool) "identical to reference" true (run true = run false)
+    (run Superblocks = (Done, 111111, 7));
+  check_all "boundary crossing identical on all paths" run
+
+(* --- directed superblock side-exit tests --- *)
+
+(* Forward conditional branches are speculated fall-through; taking one
+   is a speculation miss, so the superblock must side-exit to the
+   dispatcher and resume at the real target with identical state. *)
+let test_side_exit_speculation_miss () =
+  let skip = code0 + (3 * Isa.instr_bytes) in
+  let prog =
+    [
+      Isa.Const (2, 0);
+      Isa.Beqz (2, skip); (* taken: speculated not-taken *)
+      Isa.Addi (2, 2, 111); (* speculated but never executed *)
+      Isa.Const (3, 9);
+      Isa.Halt;
+    ]
+  in
+  check_all "taken forward branch identical on all paths" (fun mode ->
+      run_one ~mode prog);
+  let u = setup ~mode:Superblocks prog in
+  let ctx = fresh_ctx u in
+  let before = u.m.Machine.ctr_side_exits in
+  let o = run_outcome u ctx in
+  Alcotest.(check bool) "run completes past the miss" true
+    (o = Done && ctx.Machine.regs.(2) = 0 && ctx.Machine.regs.(3) = 9);
+  Alcotest.(check bool) "speculation miss counted as a side exit" true
+    (u.m.Machine.ctr_side_exits > before)
+
+(* In-place retag: [Page_table.retag] mutates the page record without
+   bumping the page-table generation, so a warm superblock whose chain
+   crosses onto the retagged page passes its entry guard but must catch
+   the change at the junction's tag re-check and side-exit.  The spare
+   identity b2 carries the same grants as b, so execution continues
+   (now under b2) with state identical to the reference. *)
+let test_side_exit_inplace_retag () =
+  let loop = code0 + (3 * Isa.instr_bytes) in
+  let prog =
+    [
+      Isa.Const (2, 0);
+      Isa.Const (4, 0);
+      Isa.Const (5, 2);
+      Isa.Call callee; (* chained junction onto the callee page *)
+      Isa.Syscall 3; (* retag callee page b -> b2 (handler below) *)
+      Isa.Addi (4, 4, 1);
+      Isa.Blt (4, 5, loop);
+      Isa.Halt;
+    ]
+  in
+  let run mode =
+    let u = setup ~mode prog in
+    Machine.set_syscall_handler u.m (fun _ctx _n ->
+        (* swap the callee page between the two identities in place:
+           no generation moves, only the junction guard can see it *)
+        let page =
+          match Page_table.find u.m.Machine.page_table callee with
+          | Some p -> p
+          | None -> assert false
+        in
+        let from_tag = page.Page_table.tag in
+        let to_tag = if from_tag = u.tag_b then u.tag_b2 else u.tag_b in
+        Page_table.retag u.m.Machine.page_table ~addr:callee ~count:1
+          ~from_tag ~to_tag);
+    let ctx = fresh_ctx u in
+    let o = run_outcome u ctx in
+    (observe u ctx o, u.m.Machine.ctr_side_exits)
+  in
+  let (s_ref, _) = run Reference in
+  let (s_blk, _) = run Blocks in
+  let (s_sb, side_exits) = run Superblocks in
+  Alcotest.(check bool) "retag identical on blocks path" true (s_blk = s_ref);
+  Alcotest.(check bool) "retag identical on superblock path" true (s_sb = s_ref);
+  (match s_ref with
+  | Done, regs, _, _, _, _ ->
+      Alcotest.(check int) "both loop iterations called the callee" 14 regs.(2)
+  | _ -> Alcotest.fail "retagged run must complete");
+  Alcotest.(check bool) "retag caught at a junction side exit" true
+    (side_exits > 0)
+
+(* Fuel exhausted exactly at a junction: the reference loop raises
+   Out_of_fuel *before* the next fetch's transfer check, so the
+   superblock must stop at the junction without running check_transfer
+   — even when that check would fault.  The island page's tag has no
+   grants at all: with one more unit of fuel the crossing faults, with
+   exact fuel both paths report Out_of_fuel. *)
+let test_fuel_at_junction () =
+  let prog = [ Isa.Const (2, 1); Isa.Jmp island ] in
+  let run mode fuel =
+    let u = setup ~mode prog in
+    let ctx = fresh_ctx u in
+    let o = run_outcome ~fuel u ctx in
+    (o, ctx.Machine.pc, ctx.Machine.instret, ctx.Machine.cost)
+  in
+  (* fuel 2: Const + Jmp consume it all; the crossing check must not run *)
+  (match run Superblocks 2 with
+  | Fuel, pc, 2, _ -> Alcotest.(check int) "stopped at the island edge" island pc
+  | _ -> Alcotest.fail "exact fuel must stop before the transfer check");
+  check_all "fuel at the junction identical on all paths" (fun mode -> run mode 2);
+  (* fuel 3: the crossing check runs and faults on both paths *)
+  (match run Superblocks 3 with
+  | Fault { Fault.kind = Fault.No_permission _; _ }, _, _, _ -> ()
+  | _ -> Alcotest.fail "one more unit of fuel must reach the faulting check");
+  check_all "faulting crossing identical on all paths" (fun mode -> run mode 3)
+
+(* The deterministic counters themselves: a warm re-dispatch hits the
+   superblock cache, a run with misses records side exits, and the
+   counters live on the machine (not the digest path). *)
+let test_counters_sanity () =
+  let prog = [ Isa.Const (2, 1); Isa.Addi (2, 2, 1); Isa.Halt ] in
+  let u = setup ~mode:Superblocks prog in
+  let c1 = fresh_ctx u in
+  let (_ : outcome) = run_outcome u c1 in
+  let xlate_after_first = u.m.Machine.ctr_sb_translations in
+  let hits_after_first = u.m.Machine.ctr_sb_hits in
+  Alcotest.(check bool) "first run translates" true (xlate_after_first > 0);
+  let c2 = fresh_ctx u in
+  let (_ : outcome) = run_outcome u c2 in
+  Alcotest.(check int) "warm re-dispatch translates nothing more"
+    xlate_after_first u.m.Machine.ctr_sb_translations;
+  Alcotest.(check bool) "warm re-dispatch hits the cache" true
+    (u.m.Machine.ctr_sb_hits > hits_after_first);
+  Alcotest.(check bool) "block entries counted" true
+    (u.m.Machine.ctr_block_entries > 0)
 
 let test_default_toggle () =
   Machine.set_default_block_cache false;
   let m1 = Machine.create () in
   Machine.set_default_block_cache true;
+  Machine.set_default_superblocks false;
   let m2 = Machine.create () in
+  Machine.set_default_superblocks true;
+  let m3 = Machine.create () in
   Alcotest.(check bool) "default off is sampled" false m1.Machine.block_cache;
-  Alcotest.(check bool) "default on is sampled" true m2.Machine.block_cache
+  Alcotest.(check bool) "default on is sampled" true m2.Machine.block_cache;
+  Alcotest.(check bool) "superblock default off is sampled" false
+    m2.Machine.superblocks;
+  Alcotest.(check bool) "superblock default on is sampled" true
+    m3.Machine.superblocks
 
 let suites =
   [
@@ -368,5 +575,13 @@ let suites =
           test_apl_cache_flush_midrun;
         Alcotest.test_case "fuel truncation" `Quick test_fuel_truncation;
         Alcotest.test_case "default toggle" `Quick test_default_toggle;
+      ] );
+    ( "blocks.side_exits",
+      [
+        Alcotest.test_case "speculation miss" `Quick
+          test_side_exit_speculation_miss;
+        Alcotest.test_case "in-place retag" `Quick test_side_exit_inplace_retag;
+        Alcotest.test_case "fuel at a junction" `Quick test_fuel_at_junction;
+        Alcotest.test_case "counters sanity" `Quick test_counters_sanity;
       ] );
   ]

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Line coverage of the simulation substrate (lib/sim + lib/hw) via
+# Line coverage of the simulation substrate (lib/sim + lib/hw +
+# lib/kernel + lib/workloads) via
 # bisect_ppx, ratcheted against COVERAGE_baseline.txt.
 #
 #   tools/coverage.sh            run tests instrumented, report, ratchet
@@ -27,15 +28,15 @@ BISECT_FILE="$(pwd)/_coverage/bisect" \
 
 # Per-file summary, restricted to the substrate the ratchet covers.
 bisect-ppx-report summary --per-file _coverage/bisect*.coverage \
-  | grep -E 'lib/(sim|hw)/' | tee _coverage/per_file.txt
+  | grep -E 'lib/(sim|hw|kernel|workloads)/' | tee _coverage/per_file.txt
 
-# Aggregate percentage over lib/sim + lib/hw only (the per-file lines
+# Aggregate percentage over the ratcheted substrate only (the per-file lines
 # read " NN.NN %   lib/sim/engine.ml"): recompute from covered/total
 # counts so the aggregate is line-weighted, not file-weighted.
 bisect-ppx-report html -o _coverage/html _coverage/bisect*.coverage || true
 
 actual=$(bisect-ppx-report summary --per-file _coverage/bisect*.coverage \
-  | awk '/lib\/(sim|hw)\// {
+  | awk '/lib\/(sim|hw|kernel|workloads)\// {
       if (match($0, /[0-9]+\/[0-9]+/)) {
         split(substr($0, RSTART, RLENGTH), f, "/");
         cov += f[1]; tot += f[2];
@@ -45,7 +46,7 @@ actual=$(bisect-ppx-report summary --per-file _coverage/bisect*.coverage \
 
 floor=$(grep -E '^floor_pct:' COVERAGE_baseline.txt | awk '{print $2}')
 
-echo "lib/sim + lib/hw line coverage: ${actual}% (ratchet floor: ${floor}%)"
+echo "lib/{sim,hw,kernel,workloads} line coverage: ${actual}% (ratchet floor: ${floor}%)"
 
 if awk "BEGIN { exit !($actual < $floor) }"; then
   echo "coverage REGRESSED below the ratchet floor (${actual}% < ${floor}%)" >&2
