@@ -2,7 +2,8 @@
    the committed baseline.
 
      check_golden.exe BASELINE CANDIDATE [--budget SECONDS]
-                      [--counters] [--mips-ratchet RATIO]
+                      [--counters] [--mips-ratchet RATIO] [--trend FILE]
+     check_golden.exe --trend FILE
 
    Exit 0 when the golden digest and all per-experiment digests match
    (and, with --budget, total_wall_s is within the budget); exit 1 with
@@ -15,7 +16,12 @@
    (counters are path-dependent by design; digests are not).
 
    --mips-ratchet RATIO enables the throughput floor: each row's
-   sim_mips must stay >= RATIO x the baseline's. *)
+   sim_mips must stay >= RATIO x the baseline's.
+
+   --trend FILE reports per-cell sim-MIPS and counter deltas between
+   the last two rows of the BENCH_latest.jsonl history that bench
+   --json appends to.  Informational only: it never affects the exit
+   code, and with no BASELINE/CANDIDATE it is the whole job. *)
 
 module Golden = Dipc_bench_suite.Golden
 
@@ -23,6 +29,7 @@ let () =
   let budget = ref None in
   let counters = ref false in
   let ratchet = ref None in
+  let trend = ref None in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -49,18 +56,39 @@ let () =
     | [ "--mips-ratchet" ] ->
         prerr_endline "--mips-ratchet needs a positive ratio";
         exit 2
+    | "--trend" :: f :: rest ->
+        trend := Some f;
+        parse rest
+    | [ "--trend" ] ->
+        prerr_endline "--trend needs a history file (BENCH_latest.jsonl)";
+        exit 2
     | p :: rest ->
         paths := p :: !paths;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let print_trend file =
+    match
+      try Ok (Golden.read_file file) with Sys_error m -> Error m
+    with
+    | Error m -> Printf.printf "trend: %s (skipping)\n" m
+    | Ok history -> (
+        match Golden.trend_report ~history with
+        | Error m -> Printf.printf "trend: %s (skipping)\n" m
+        | Ok lines -> List.iter print_endline lines)
+  in
   let baseline_path, candidate_path =
-    match List.rev !paths with
-    | [ b; c ] -> (b, c)
+    match (List.rev !paths, !trend) with
+    | [ b; c ], _ -> (b, c)
+    | [], Some f ->
+        (* Standalone trend mode: report and stop. *)
+        print_trend f;
+        exit 0
     | _ ->
         prerr_endline
           "usage: check_golden BASELINE CANDIDATE [--budget SECONDS] \
-           [--counters] [--mips-ratchet RATIO]";
+           [--counters] [--mips-ratchet RATIO] [--trend FILE]\n\
+          \       check_golden --trend FILE";
         exit 2
   in
   let baseline = Golden.read_file baseline_path in
@@ -127,4 +155,5 @@ let () =
       | None ->
           failed := true;
           print_endline "candidate has no total_wall_s field"));
+  (match !trend with None -> () | Some f -> print_trend f);
   if !failed then exit 1

@@ -304,6 +304,66 @@ let compare_mips_ratchet ~ratio ~baseline ~candidate =
       | _ -> None)
     (parse_rows baseline)
 
+(* --- Trend report over the benchmark history ---------------------------
+
+   bench --json appends one dipc-bench-hist/v1 line per run to
+   bench/BENCH_latest.jsonl (commit, UTC time, per-experiment sim-MIPS
+   + deterministic counters).  [trend_report] diffs the last two lines:
+   per-cell sim-MIPS movement and any counter that changed.  Purely
+   informational — the single-baseline digest/counter/ratchet gates
+   above stay the gates; this answers "what moved since the previous
+   run" without editing the baseline. *)
+
+let trend_report ~history =
+  let lines =
+    String.split_on_char '\n' history
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match List.rev lines with
+  | [] | [ _ ] -> Error "trend needs at least two history rows"
+  | cur_line :: prev_line :: _ ->
+      let stamp line =
+        Printf.sprintf "%s @ %s"
+          (Option.value (scalar_string line "commit") ~default:"unknown")
+          (Option.value (scalar_string line "utc") ~default:"?")
+      in
+      let prev = parse_rows prev_line in
+      let cur = parse_rows cur_line in
+      let out = ref [] in
+      let emit s = out := s :: !out in
+      emit (Printf.sprintf "trend: %s -> %s" (stamp prev_line) (stamp cur_line));
+      List.iter
+        (fun c ->
+          match List.find_opt (fun p -> p.r_name = c.r_name) prev with
+          | None -> emit (Printf.sprintf "  %-20s new experiment" c.r_name)
+          | Some p ->
+              (match (p.r_sim_mips, c.r_sim_mips) with
+              | Some pm, Some cm when pm > 0. && cm > 0. ->
+                  emit
+                    (Printf.sprintf "  %-20s sim-MIPS %8.3f -> %8.3f  (%+.1f%%)"
+                       c.r_name pm cm ((cm /. pm -. 1.) *. 100.))
+              | _ -> ());
+              List.iter
+                (fun (k, cv) ->
+                  match List.assoc_opt k p.r_counters with
+                  | Some pv when pv <> cv ->
+                      emit
+                        (Printf.sprintf "  %-20s %s %d -> %d (%+d)" c.r_name k
+                           pv cv (cv - pv))
+                  | Some _ -> ()
+                  | None ->
+                      emit
+                        (Printf.sprintf "  %-20s %s <absent> -> %d" c.r_name k
+                           cv))
+                c.r_counters)
+        cur;
+      List.iter
+        (fun p ->
+          if not (List.exists (fun c -> c.r_name = p.r_name) cur) then
+            emit (Printf.sprintf "  %-20s experiment dropped" p.r_name))
+        prev;
+      Ok (List.rev !out)
+
 (* Compare a candidate report's per-experiment digests against the
    baseline's: order-sensitive on the baseline corpus (the suite order
    is part of the contract), and any extra/missing experiment is a

@@ -37,7 +37,12 @@
      --no-superblocks   keep the translated-block cache but disable the
                         superblock trace compiler (one-block-at-a-time
                         dispatch); results and digests are identical
-                        either way — triage only *)
+                        either way — triage only
+     --no-ras           keep superblocks but disable the dynamic-transfer
+                        predictors (return-address stack + inline caches):
+                        every Ret/Jmpr/Callr side-exits to the dispatcher;
+                        results and digests are identical either way —
+                        triage only *)
 
 module Suite = Dipc_bench_suite.Suite
 module Parallel = Dipc_sim.Parallel
@@ -52,6 +57,9 @@ let () =
         extract check inject jobs shards acc rest
     | "--no-superblocks" :: rest ->
         Dipc_hw.Machine.set_default_superblocks false;
+        extract check inject jobs shards acc rest
+    | "--no-ras" :: rest ->
+        Dipc_hw.Machine.set_default_ras false;
         extract check inject jobs shards acc rest
     | [ "--posture" ] ->
         Printf.eprintf "--posture needs strict | audit | permissive\n";

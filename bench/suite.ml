@@ -28,6 +28,8 @@ module M = Dipc_workloads.Microbench
 module O = Dipc_workloads.Oltp
 module N = Dipc_workloads.Netpipe
 module S = Dipc_workloads.Sensitivity
+module Shard = Dipc_sim.Shard
+module Wire = Dipc_kernel.Wire
 
 let header title =
   Printf.printf "\n==============================================================\n";
@@ -637,13 +639,29 @@ let bench_micro ?(check = false) ?inject_seed name prim ~same_cpu =
     b_metric = r.M.mean_ns;
   }
 
-let bench_oltp ?(check = false) ?inject_seed name config =
+(* The closed OLTP model sharded at its UNIX-socket/NIC cut: with
+   [--shards N > 1] the bounded warmup/measure drives route through the
+   conservative coordinator in lookahead-sized windows (window width =
+   the wire latency of the socket/NIC boundary, the minimum latency of
+   any cross-tier interaction), with idle peer shards standing in for
+   the remote side of the cut.  [Shard.run_windowed ~until] is pinned
+   byte-identical to the plain [Engine.run_until] drive at any shard
+   count and lookahead, so the digests cannot move — the shard-
+   equivalence CI job byte-diffs the full report at --shards 1 vs 2. *)
+let bench_oltp ?(check = false) ?inject_seed ?(shards = 1) name config =
+  let drive_until =
+    if shards > 1 then
+      Some
+        (fun e until ->
+          Shard.run_windowed ~shards ~lookahead:Wire.default_latency ~until e)
+    else None
+  in
   let (tr, r, chk), wall =
     timed (fun () ->
         let tr = mk_tracer () in
         let chk = mk_checker check tr in
         let r =
-          O.run ~trace:tr ?inject:(mk_inject inject_seed) ~config
+          O.run ~trace:tr ?inject:(mk_inject inject_seed) ?drive_until ~config
             ~db_mode:O.In_memory ~threads:96 ()
         in
         (tr, r, chk))
@@ -680,6 +698,10 @@ let machine_counters (m : Machine.t) ~instret =
     ("sb_hits", m.Machine.ctr_sb_hits);
     ("sb_xlate", m.Machine.ctr_sb_translations);
     ("side_exits", m.Machine.ctr_side_exits);
+    ("ras_hits", m.Machine.ctr_ras_hits);
+    ("ras_misses", m.Machine.ctr_ras_misses);
+    ("ic_hits", m.Machine.ctr_ic_hits);
+    ("ic_misses", m.Machine.ctr_ic_misses);
   ]
 
 let bench_machine_hotloop () =
@@ -802,6 +824,81 @@ let bench_machine_superblock () =
     b_digest =
       Printf.sprintf "instret=%d cost=%.0f mem=%d r7=%d" ctx.Machine.instret
         ctx.Machine.cost final_word ctx.Machine.regs.(7);
+    b_metric_name = "minstr_per_s";
+    b_counters = machine_counters m ~instret:ctx.Machine.instret;
+    b_metric = float_of_int ctx.Machine.instret /. wall /. 1e6;
+  }
+
+(* Call-return torture cell: the dispatch shape the dIPC claim lives on.
+   An unrolled train of eight calls to a bare-[Ret] leaf per iteration,
+   plus one monomorphic indirect call ([Callr]) and one monomorphic
+   indirect jump ([Jmpr]) — nine returns predicted by the RAS, both
+   indirect sites by their inline caches, the backward loop branch
+   speculated taken, so the steady state runs entirely inside one
+   superblock.  With --no-ras every Ret/Callr/Jmpr is a dispatcher
+   round-trip instead — eleven per ~21 retired instructions — which is
+   exactly the fine-grained cross-domain call shape the paper's IPC
+   claim rests on: this cell carries the PR 10 A/B.  The digest is
+   dispatch-path-independent, as always; the counters pin the predictor
+   machinery itself. *)
+let callret_iters = 100_000
+
+let bench_machine_callret () =
+  let (m, ctx, final_word), wall =
+    timed (fun () ->
+        let m = Machine.create () in
+        let tag = Apl.fresh_tag m.Machine.apl in
+        let code = 0x100000 and data = 0x200000 and stack = 0x300000 in
+        Page_table.map m.Machine.page_table ~addr:code ~count:1 ~tag
+          ~writable:false ~executable:true ();
+        Page_table.map m.Machine.page_table ~addr:data ~count:1 ~tag ();
+        Page_table.map m.Machine.page_table ~addr:stack ~count:1 ~tag ();
+        let ib = Isa.instr_bytes in
+        let loop = code + (5 * ib) in
+        let cont = code + (15 * ib) in
+        let leaf = code + (19 * ib) in
+        ignore
+          (Dipc_hw.Memory.place_code m.Machine.mem ~addr:code
+             [
+               Isa.Const (1, data);
+               Isa.Const (2, 0);
+               Isa.Const (3, callret_iters);
+               Isa.Const (10, leaf);
+               Isa.Const (6, cont);
+               (* loop: eight direct leaf calls, return-predicted *)
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Call leaf;
+               Isa.Callr 10 (* monomorphic indirect call *);
+               Isa.Jmpr 6 (* monomorphic indirect jump *);
+               (* cont: *)
+               Isa.Store (1, 0, 2);
+               Isa.Addi (2, 2, 1);
+               Isa.Blt (2, 3, loop);
+               Isa.Halt;
+               (* leaf: *)
+               Isa.Ret;
+             ]);
+        let ctx =
+          Machine.new_ctx m ~pc:code ~sp_value:(stack + Layout.page_size)
+        in
+        Machine.run ~fuel:((callret_iters * 30) + 100) m ctx;
+        (m, ctx, Machine.peek_word m ~addr:data))
+  in
+  {
+    b_name = "machine_callret";
+    b_wall_s = wall;
+    b_sim_ns = ctx.Machine.cost;
+    b_events = ctx.Machine.instret;
+    b_instret = ctx.Machine.instret;
+    b_digest =
+      Printf.sprintf "instret=%d cost=%.0f mem=%d r2=%d" ctx.Machine.instret
+        ctx.Machine.cost final_word ctx.Machine.regs.(2);
     b_metric_name = "minstr_per_s";
     b_counters = machine_counters m ~instret:ctx.Machine.instret;
     b_metric = float_of_int ctx.Machine.instret /. wall /. 1e6;
@@ -1205,13 +1302,17 @@ let bench_tasks ?check ?inject_seed ?shards () =
       fun () ->
         bench_micro ?check ?inject_seed "rpc_diff" M.Local_rpc ~same_cpu:false );
     ( "oltp_linux_mem96",
-      fun () -> bench_oltp ?check ?inject_seed "oltp_linux_mem96" O.Linux );
+      fun () -> bench_oltp ?check ?inject_seed ?shards "oltp_linux_mem96" O.Linux
+    );
     ( "oltp_dipc_mem96",
-      fun () -> bench_oltp ?check ?inject_seed "oltp_dipc_mem96" O.Dipc );
+      fun () -> bench_oltp ?check ?inject_seed ?shards "oltp_dipc_mem96" O.Dipc
+    );
     ( "oltp_ideal_mem96",
-      fun () -> bench_oltp ?check ?inject_seed "oltp_ideal_mem96" O.Ideal );
+      fun () -> bench_oltp ?check ?inject_seed ?shards "oltp_ideal_mem96" O.Ideal
+    );
     ("machine_hotloop", fun () -> bench_machine_hotloop ());
     ("machine_superblock", fun () -> bench_machine_superblock ());
+    ("machine_callret", fun () -> bench_machine_callret ());
     ("engine_timerstorm", fun () -> bench_engine_timerstorm ());
   |]
   |> fun core ->
@@ -1290,6 +1391,91 @@ let write_bench_json ?(jobs = 1) ?elapsed_s out
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
+(* --- Timestamped benchmark history ------------------------------------
+
+   Every clean [bench_json] run appends one compact JSON line to
+   BENCH_latest.jsonl next to the report: commit, UTC timestamp, and
+   each experiment's sim-MIPS + deterministic counters.  check_golden
+   --trend diffs the last two lines, turning the one-shot report into a
+   trend line across commits.  Injected runs are skipped (their
+   timelines aren't comparable) and any I/O failure only warns — the
+   history is an observability aid, never a gate. *)
+
+let read_first_line path =
+  try
+    let ic = open_in path in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    close_in ic;
+    line
+  with Sys_error _ -> None
+
+(* Resolve HEAD without shelling out: .git/HEAD -> loose ref file ->
+   packed-refs -> "unknown".  Worktrees and detached heads fall out
+   naturally (HEAD holds the sha directly when detached). *)
+let git_commit () =
+  match read_first_line ".git/HEAD" with
+  | None -> "unknown"
+  | Some head -> (
+      let head = String.trim head in
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then
+        let r = String.sub head 5 (String.length head - 5) in
+        match read_first_line (Filename.concat ".git" r) with
+        | Some sha -> String.trim sha
+        | None -> (
+            try
+              let ic = open_in ".git/packed-refs" in
+              let found = ref "unknown" in
+              (try
+                 while true do
+                   let l = input_line ic in
+                   match String.index_opt l ' ' with
+                   | Some sp
+                     when String.sub l (sp + 1) (String.length l - sp - 1) = r
+                     ->
+                       found := String.sub l 0 sp
+                   | _ -> ()
+                 done
+               with End_of_file -> ());
+              close_in ic;
+              !found
+            with Sys_error _ -> "unknown")
+      else head)
+
+let utc_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let append_history ~out (outcomes : bench_result Parallel.outcome array) =
+  let path = Filename.concat (Filename.dirname out) "BENCH_latest.jsonl" in
+  try
+    let cells =
+      Array.to_list outcomes
+      |> List.map (fun o ->
+             let r = o.Parallel.o_value in
+             let counters =
+               String.concat ", "
+                 (List.map
+                    (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+                    r.b_counters)
+             in
+             Printf.sprintf
+               "{\"name\": \"%s\", \"sim_mips\": %.3f, \"counters\": {%s}}"
+               r.b_name
+               (float_of_int r.b_instret /. r.b_wall_s /. 1e6)
+               counters)
+    in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Printf.fprintf oc
+      "{\"schema\": \"dipc-bench-hist/v1\", \"commit\": \"%s\", \"utc\": \
+       \"%s\", \"experiments\": [%s]}\n"
+      (git_commit ()) (utc_now ())
+      (String.concat ", " cells);
+    close_out oc;
+    Printf.printf "  appended history row to %s\n%!" path
+  with Sys_error msg -> Printf.printf "  (history append skipped: %s)\n%!" msg
+
 let bench_json ?(check = false) ?inject_seed ?(shards = 1) ?(jobs = 1) out =
   (* The measured suite runs with a large minor heap: the traced runs
      allocate continuations and trace plumbing at a rate that makes
@@ -1329,7 +1515,8 @@ let bench_json ?(check = false) ?inject_seed ?(shards = 1) ?(jobs = 1) out =
   | Some r -> Printf.printf "  golden digest: %s\n" r.b_digest
   | None -> ());
   write_bench_json ~jobs ~elapsed_s:elapsed out outcomes;
-  Printf.printf "  wrote %s\n%!" out
+  Printf.printf "  wrote %s\n%!" out;
+  if inject_seed = None then append_history ~out outcomes
 
 (* ================= trace smoke ================= *)
 

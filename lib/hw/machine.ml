@@ -63,7 +63,17 @@ type block = {
    lookups at all.  [u_tag]/[u_priv] record the domain view the unit
    was translated under; the junction re-checks them after the
    transfer check because [Page_table.retag]/[set_protection] mutate
-   pages in place without bumping the table generation. *)
+   pages in place without bumping the table generation.
+
+   PR 10 chains the dynamic transfers too.  [u_dyn] classifies the
+   terminator's junction: [Dyn_ret] consults the per-machine
+   return-address stack, [Dyn_ic] a per-site monomorphic inline cache
+   on [Jmpr]/[Callr].  [u_cont_idx] is the unit index of a [Call]/
+   [Callr]'s return continuation within the same superblock (-1 if it
+   was not materialised under the unit budget): the terminator pushes
+   it onto the RAS so the matching [Ret] can chain straight back.
+   [Syscall], [Trap] and [Halt] still always end the chain — they run
+   foreign code or stop the machine. *)
 type sunit = {
   u_pc : int;
   u_tag : int;
@@ -77,7 +87,21 @@ type sunit = {
   u_term_cost : float;
   u_next : int;
   u_next_idx : int;
+  u_dyn : dyn;  (* dynamic-junction kind of the chained terminator *)
+  mutable u_cont_idx : int;
+      (* call-return continuation unit (RAS prediction), -1 = none;
+         mutable only because continuations are resolved after every
+         unit of the superblock has been built *)
 }
+
+and dyn = Dyn_none | Dyn_ret | Dyn_ic of ic
+
+(* A monomorphic inline cache on one [Jmpr]/[Callr] site: the last
+   observed target pc and (when warm) the superblock it chained into.
+   [ic_sb] is revalidated against the live tag/priv view and the
+   generation counters on every consult — a stale entry is refilled
+   from the machine-wide cache or falls back to the dispatcher. *)
+and ic = { mutable ic_pc : int; mutable ic_sb : superblock option }
 
 and superblock = {
   s_pc : int;
@@ -127,9 +151,11 @@ type t = {
   mutable attr_of_tag : int -> Breakdown.category;
   mutable next_ctx_id : int;
   mutable tracer : Trace.t;
-  mutable tlb_page : int; (* one-entry translation cache *)
+  tlb_pages : int array; (* direct-mapped translation cache: page per way *)
+  tlb_entries : Page_table.page array;
   mutable tlb_gen : int;
-  mutable tlb_entry : Page_table.page;
+      (* {!Page_table.generation} the cache was filled at; a mismatch
+         invalidates every way at once *)
   mutable inject : Dipc_sim.Inject.t option;
       (* Fault injector consulted at domain crossings; [None] keeps the
          crossing path exactly as-is. *)
@@ -144,21 +170,55 @@ type t = {
          path, the default); false falls back to the PR 5 one-block-at-
          a-time dispatch — the --no-superblocks triage escape hatch.
          Ignored when [block_cache] is false. *)
+  mutable ras : bool;
+      (* Under [superblocks]: predict through the dynamic transfers —
+         return-address stack on Ret, inline caches on Jmpr/Callr
+         (the default); false leaves every dynamic site a counted side
+         exit — the --no-ras triage escape hatch. *)
   sblocks : (int, superblock) Hashtbl.t;
       (* superblock cache, keyed by entry pc; machine-wide (shared by
          every context) so [pretranslate] can warm it before any thread
          exists *)
+  ras_pc : int array;
+      (* The return-address stack: a fixed circular buffer of predicted
+         return continuations (pc, superblock, unit index), pushed by
+         chained Call/Callr terminators and popped by chained Rets.
+         Machine-wide like [sblocks]: a context switch between push and
+         pop merely mispredicts (a counted side exit), never diverges —
+         every prediction is validated against the live pc, tag/priv
+         and generation counters before it is chained. *)
+  ras_sb : superblock array;
+      (* [ras_dummy] marks an empty slot: its generation fields are -1,
+         which the pop-side liveness guard can never match, so no
+         separate occupancy test (or per-push [Some] allocation) is
+         needed on the hot path *)
+  ras_uidx : int array;
+  mutable ras_top : int;  (* next push slot *)
+  mutable ras_len : int;  (* live entries (overflow drops the oldest) *)
   mutable ctr_block_entries : int;
       (* deterministic perf counters: translated-body entries (one per
          superblock unit entered / per PR 5 block body executed)... *)
   mutable ctr_sb_hits : int;  (* ...warm superblock dispatches... *)
   mutable ctr_sb_translations : int;  (* ...superblocks (re)translated... *)
   mutable ctr_side_exits : int;
-      (* ...and mid-chain exits: speculation misses and junction
-         tag/priv guard failures.  Pure functions of the simulated
-         execution — identical at any --jobs/--shards — and never part
-         of any digest (they are path-dependent by design: the
-         reference interpreter reports zeros). *)
+      (* ...and mid-chain exits: speculation misses, junction tag/priv
+         guard failures, and dynamic junctions (Ret/Jmpr/Callr) that
+         failed to chain.  Pure functions of the simulated execution —
+         identical at any --jobs/--shards — and never part of any
+         digest (they are path-dependent by design: the reference
+         interpreter reports zeros). *)
+  mutable ctr_ras_hits : int;
+      (* chained Rets predicted by the return-address stack... *)
+  mutable ctr_ras_misses : int;
+      (* ...and chained Rets that fell back to the dispatcher
+         (mispredict, under/overflow, cross-crossing, stale target);
+         every miss is also a side exit *)
+  mutable ctr_ic_hits : int;
+      (* chained Jmpr/Callr sites whose inline cache re-matched... *)
+  mutable ctr_ic_misses : int;
+      (* ...and those that fell back to dispatch (polymorphic target,
+         cold cache, stale superblock); every miss is also a side
+         exit *)
   mutable posture : Fault.posture;
       (* Enforcement posture for authorization faults: Strict raises
          (the default), Audit counts + traces the would-be fault and
@@ -185,7 +245,45 @@ let default_superblocks = Atomic.make true
 
 let set_default_superblocks v = Atomic.set default_superblocks v
 
-(* Never returned: [tlb_page] starts at -1, which no address maps to. *)
+(* And for the dynamic-transfer predictors (the --no-ras escape hatch):
+   RAS + inline caches off leaves every Ret/Jmpr/Callr a counted side
+   exit, isolating prediction bugs from the rest of the compiler. *)
+let default_ras = Atomic.make true
+
+let set_default_ras v = Atomic.set default_ras v
+
+(* Return-address stack capacity; a power of two so push/pop wrap with a
+   mask.  64 comfortably covers the deepest call towers in the suite —
+   deeper recursion degrades to mispredicted (reference-path) returns,
+   never to wrong execution. *)
+let ras_capacity = 64
+
+(* Translation-cache geometry: a direct-mapped power-of-two array so a
+   lookup is one mask and one compare.  The way index mixes high page
+   bits in because workloads place code/data/stack regions at round
+   power-of-two addresses — with a plain low-bits index those regions
+   all collide in way 0 and the hot call/return path (stack page for
+   the push/pop check, code page for the transfer check) would thrash
+   exactly like the old one-entry cache did. *)
+let tlb_ways = 64
+
+let tlb_way page = (page lxor (page lsr 6) lxor (page lsr 12)) land (tlb_ways - 1)
+
+(* Never chained: generation counters only count up from 0, so the -1s
+   fail the pop-side liveness guard before [s_units] is ever touched. *)
+let ras_dummy : superblock =
+  {
+    s_pc = -1;
+    s_tag = -1;
+    s_priv = false;
+    s_units = [||];
+    s_code_gen = -1;
+    s_pt_gen = -1;
+    s_apl_gen = -1;
+  }
+
+(* Never returned: [tlb_pages] entries start at -1, which no address
+   maps to. *)
 let tlb_dummy : Page_table.page =
   {
     Page_table.tag = -1;
@@ -207,17 +305,27 @@ let create () =
     attr_of_tag = (fun _ -> Breakdown.User_code);
     next_ctx_id = 0;
     tracer = Trace.null;
-    tlb_page = -1;
+    tlb_pages = Array.make tlb_ways (-1);
+    tlb_entries = Array.make tlb_ways tlb_dummy;
     tlb_gen = -1;
-    tlb_entry = tlb_dummy;
     inject = None;
     block_cache = Atomic.get default_block_cache;
     superblocks = Atomic.get default_superblocks;
+    ras = Atomic.get default_ras;
     sblocks = Hashtbl.create 64;
+    ras_pc = Array.make ras_capacity 0;
+    ras_sb = Array.make ras_capacity ras_dummy;
+    ras_uidx = Array.make ras_capacity 0;
+    ras_top = 0;
+    ras_len = 0;
     ctr_block_entries = 0;
     ctr_sb_hits = 0;
     ctr_sb_translations = 0;
     ctr_side_exits = 0;
+    ctr_ras_hits = 0;
+    ctr_ras_misses = 0;
+    ctr_ic_hits = 0;
+    ctr_ic_misses = 0;
     posture = Fault.get_default_posture ();
     audited_faults = 0;
   }
@@ -226,21 +334,43 @@ let set_block_cache m v = m.block_cache <- v
 
 let set_superblocks m v = m.superblocks <- v
 
+let set_ras m v =
+  if m.ras <> v then begin
+    m.ras <- v;
+    (* Translation shapes depend on the flag (continuation units are
+       only materialised with prediction on): drop the cache and let
+       dispatch retranslate under the new setting.  Also forget any
+       live predictions — their superblocks just died. *)
+    Hashtbl.reset m.sblocks;
+    Array.fill m.ras_sb 0 ras_capacity ras_dummy;
+    m.ras_top <- 0;
+    m.ras_len <- 0
+  end
+
 let set_posture m p = m.posture <- p
 
-(* Page-table lookup through the one-entry translation cache: straight-line
-   fetch/load/store into a warm page skips the page-table Hashtbl.  Entries
-   are invalidated by the table's generation counter (map/unmap); in-place
-   page mutation is observed through the shared record. *)
+(* Page-table lookup through the direct-mapped translation cache:
+   fetch/load/store into a warm page skips the page-table Hashtbl, and
+   distinct hot pages (code, data, stack) each keep their own way
+   instead of evicting one another.  Entries are invalidated by the
+   table's generation counter (map/unmap) — a generation bump flushes
+   the whole cache on the next miss — and in-place page mutation is
+   observed through the shared record. *)
 let find_page m ~pc addr =
   let page = Layout.page_of addr in
-  if page = m.tlb_page && Page_table.generation m.page_table = m.tlb_gen then
-    m.tlb_entry
+  let way = tlb_way page in
+  if Array.unsafe_get m.tlb_pages way = page
+     && Page_table.generation m.page_table = m.tlb_gen
+  then Array.unsafe_get m.tlb_entries way
   else begin
     let entry = Page_table.find_exn m.page_table ~pc addr in
-    m.tlb_page <- page;
-    m.tlb_gen <- Page_table.generation m.page_table;
-    m.tlb_entry <- entry;
+    let gen = Page_table.generation m.page_table in
+    if gen <> m.tlb_gen then begin
+      Array.fill m.tlb_pages 0 tlb_ways (-1);
+      m.tlb_gen <- gen
+    end;
+    m.tlb_pages.(way) <- page;
+    m.tlb_entries.(way) <- entry;
     entry
   end
 
@@ -361,26 +491,30 @@ let check_data m ctx ~addr ~len ~perm =
       (Fault.Cap_storage "regular access to a capability-storage page");
   let apl_perm = Apl.permission m.apl ~src:ctx.cur_tag ~dst:page.tag in
   let apl_ok = Perm.includes apl_perm perm in
-  let granted = ref None in
-  let allowed =
-    apl_ok
-    || begin
-         for i = 0 to Isa.num_cregs - 1 do
-           match ctx.cregs.(i) with
-           | Some cap
-             when !granted = None
-                  && cap_valid m ctx cap
-                  && Capability.covers cap ~addr ~len
-                  && Capability.grants cap perm ->
-               granted := Some cap
-           | Some _ | None -> ()
-         done;
-         !granted <> None
-       end
-  in
-  if not allowed then deny m ctx ~pc:ctx.pc ~addr (Fault.No_permission perm);
-  if Trace.enabled m.tracer then
-    trace_authority m ctx ~page ~apl_ok ~cap:!granted;
+  (* The APL-granted case (every same-domain access) is the hot path:
+     it never consults the capability registers, so skip the scan and
+     its accumulator entirely. *)
+  if apl_ok then begin
+    if Trace.enabled m.tracer then
+      trace_authority m ctx ~page ~apl_ok:true ~cap:None
+  end
+  else begin
+    let granted = ref None in
+    for i = 0 to Isa.num_cregs - 1 do
+      match ctx.cregs.(i) with
+      | Some cap
+        when !granted = None
+             && cap_valid m ctx cap
+             && Capability.covers cap ~addr ~len
+             && Capability.grants cap perm ->
+          granted := Some cap
+      | Some _ | None -> ()
+    done;
+    if !granted = None then
+      deny m ctx ~pc:ctx.pc ~addr (Fault.No_permission perm);
+    if Trace.enabled m.tracer then
+      trace_authority m ctx ~page ~apl_ok:false ~cap:!granted
+  end;
   (* CODOMs honors the per-page protection bits (Sec. 4.1). *)
   if not (page_allows page perm) then begin
     if Perm.includes perm Perm.Write then
@@ -976,11 +1110,31 @@ let max_superblock_units = 32
    closure construction: [Memory.fetch] and [Page_table.find] are what
    the reference path performs anyway, so translation is invisible to
    digests.  Successor domain views are read from the page table here
-   and re-checked at the junction at run time (pages mutate in place). *)
+   and re-checked at the junction at run time (pages mutate in place).
+
+   Dynamic transfers (Ret, Jmpr, Callr) are chained as terminators with
+   a [Dyn_ret]/[Dyn_ic] junction; with prediction on, every Call/Callr
+   additionally enqueues its return continuation as a secondary chain
+   seed so the matching Ret has a unit to land on.  Seeds are processed
+   FIFO after the primary chain ends, under the same unit budget — the
+   primary chain is therefore built exactly as before, and a
+   continuation that does not fit simply leaves [u_cont_idx] at -1 (the
+   Ret then mispredicts to the dispatcher, never executes wrong
+   code). *)
 let translate_superblock m ~pc ~tag ~priv =
+  let predict = m.ras in
   let units = ref [] in
   let count = ref 0 in
   let index = Hashtbl.create 8 in
+  let conts = Queue.create () in
+  let rec next_seed () =
+    match Queue.take_opt conts with
+    | None -> None
+    | Some ((spc, _, _) as seed) ->
+        if Hashtbl.mem index spc || !count >= max_superblock_units then
+          next_seed ()
+        else Some seed
+  in
   let cur = ref (Some (pc, tag, priv)) in
   while !cur <> None do
     let upc, utag, upriv =
@@ -1005,19 +1159,42 @@ let translate_superblock m ~pc ~tag ~priv =
     done;
     let instrs = Array.of_list (List.rev !rev) in
     let term_pc = !p in
-    let term, succ =
+    let term, succ, dyn =
       if Layout.page_of term_pc <> page0 then
         (* the body ran off the page end: a fall-through junction — no
            terminator, the successor is the next page's first slot *)
-        (None, Some term_pc)
+        (None, Some term_pc, Dyn_none)
       else
         match Memory.fetch m.mem term_pc with
-        | None -> (None, None)
+        | None -> (None, None, Dyn_none)
         | Some i -> (
             match chain_target ~pc:term_pc i with
-            | Some t -> (Some i, Some t)
-            | None -> (None, None))
+            | Some t -> (Some i, Some t, Dyn_none)
+            | None -> (
+                match i with
+                | Isa.Ret -> (Some i, None, Dyn_ret)
+                | Isa.Jmpr _ | Isa.Callr _ ->
+                    (Some i, None, Dyn_ic { ic_pc = -1; ic_sb = None })
+                | _ -> (None, None, Dyn_none)))
     in
+    (* A call's return continuation becomes a secondary seed: translated
+       under the *caller's* view, which is exactly the view a Ret lands
+       back in — the RAS junction re-validates the landing unit's
+       (tag, priv) against the live state before chaining, so even a
+       retagged continuation can never run stale. *)
+    (if predict then
+       match term with
+       | Some (Isa.Call _ | Isa.Callr _) -> (
+           let cpc = term_pc + Isa.instr_bytes in
+           if Layout.page_of cpc = page0 then Queue.add (cpc, utag, upriv) conts
+           else
+             match Page_table.find m.page_table cpc with
+             | Some page when page.Page_table.executable ->
+                 Queue.add
+                   (cpc, page.Page_table.tag, page.Page_table.priv_cap)
+                   conts
+             | Some _ | None -> ())
+       | _ -> ());
     let u_next, u_next_idx, continue_at =
       match succ with
       | None -> (-1, -1, None)
@@ -1059,29 +1236,50 @@ let translate_superblock m ~pc ~tag ~priv =
         u_term_cost = (match term with Some i -> Isa.cost i | None -> 0.);
         u_next;
         u_next_idx;
+        u_dyn = dyn;
+        u_cont_idx = -1;
       }
     in
     units := u :: !units;
     incr count;
-    cur := continue_at
+    cur := (match continue_at with Some _ as c -> c | None -> next_seed ())
   done;
+  let s_units = Array.of_list (List.rev !units) in
+  (* Resolve call continuations now that every unit exists: a seed may
+     have closed onto a unit the primary chain already built, or been
+     dropped by the budget (u_cont_idx stays -1). *)
+  if predict then
+    Array.iter
+      (fun u ->
+        match u.u_term with
+        | Some (Isa.Call _ | Isa.Callr _) -> (
+            match Hashtbl.find_opt index (u.u_term_pc + Isa.instr_bytes) with
+            | Some i -> u.u_cont_idx <- i
+            | None -> ())
+        | _ -> ())
+      s_units;
   {
     s_pc = pc;
     s_tag = tag;
     s_priv = priv;
-    s_units = Array.of_list (List.rev !units);
+    s_units;
     s_code_gen = Memory.code_generation m.mem;
     s_pt_gen = Page_table.generation m.page_table;
     s_apl_gen = Apl.generation m.apl;
   }
 
+(* Generation validity shared by the dispatcher probe, the RAS pop and
+   the inline-cache consult: stale means some code placement, table
+   change or APL mutation happened after translation. *)
+let sb_live m sb =
+  sb.s_code_gen = Memory.code_generation m.mem
+  && sb.s_pt_gen = Page_table.generation m.page_table
+  && sb.s_apl_gen = Apl.generation m.apl
+
 let find_superblock m ctx pc =
   match Hashtbl.find_opt m.sblocks pc with
-  | Some sb
-    when sb.s_tag = ctx.cur_tag && sb.s_priv = ctx.priv
-         && sb.s_code_gen = Memory.code_generation m.mem
-         && sb.s_pt_gen = Page_table.generation m.page_table
-         && sb.s_apl_gen = Apl.generation m.apl ->
+  | Some sb when sb.s_tag = ctx.cur_tag && sb.s_priv = ctx.priv && sb_live m sb
+    ->
       m.ctr_sb_hits <- m.ctr_sb_hits + 1;
       sb
   | _ ->
@@ -1089,6 +1287,17 @@ let find_superblock m ctx pc =
       m.ctr_sb_translations <- m.ctr_sb_translations + 1;
       Hashtbl.replace m.sblocks pc sb;
       sb
+
+(* Push one predicted return continuation.  Overflow silently drops the
+   oldest entry — the corresponding outermost Ret will mispredict to
+   the dispatcher, which is always safe. *)
+let ras_push m ~cont_pc ~sb ~uidx =
+  let slot = m.ras_top in
+  m.ras_pc.(slot) <- cont_pc;
+  m.ras_sb.(slot) <- sb;
+  m.ras_uidx.(slot) <- uidx;
+  m.ras_top <- (slot + 1) land (ras_capacity - 1);
+  if m.ras_len < ras_capacity then m.ras_len <- m.ras_len + 1
 
 (* Execute a superblock from its entry unit until a planned chain end, a
    side exit, fuel exhaustion or a halt.  The caller (the dispatcher in
@@ -1114,13 +1323,47 @@ let find_superblock m ctx pc =
    mismatch (in-place retag/reprotection) side-exits to the dispatcher,
    which retranslates under the live view.
 
-   Nothing inside a superblock can invalidate it mid-flight: Syscall
-   and Trap (the only instructions that reach foreign code) are never
-   chained, and data stores cannot touch the separate code store — so
-   generation counters are checked once at entry, not per junction. *)
-let exec_superblock m ctx sb remaining =
-  let units = sb.s_units in
+   Dynamic junctions (PR 10) follow the same discipline but may hop
+   *across* superblocks, so the current unit array is a reference:
+
+   - [Dyn_ret]: the Ret's own closure already performed the reference
+     transfer check (with the returning frame's rights), so the
+     junction only decides where to continue.  Pop the RAS; chain iff
+     the predicted pc equals the live [ctx.pc], the predicted
+     superblock's generations are live, and the landing unit's
+     translated tag/priv match the live view.  Ordinary cross-domain
+     returns (callee tag back to caller tag) chain like same-domain
+     ones — the attribution category is re-resolved when the tag moved
+     across the Ret.  Anything else is a counted miss + side exit; the
+     dIPC cross-crossing unwind never reaches here at all (it runs
+     through [force_transfer] under Syscall/Trap, which are never
+     chained).
+
+   - [Dyn_ic]: Jmpr/Callr closures only set [ctx.pc]; the transfer
+     check is the next fetch's job.  On an inline-cache re-match, run
+     [check_transfer] at the exact reference position (page change
+     only), then chain into the cached superblock iff it matches the
+     live tag/priv view at a live generation (refilling the cache from
+     the machine-wide table when the cached pointer went stale).  On a
+     target change, rebias the cache and fall back to dispatch.
+
+   Nothing inside a superblock can invalidate the *units being run*
+   mid-flight: Syscall and Trap (the only instructions that reach
+   foreign code) are never chained, and data stores cannot touch the
+   separate code store — so generation counters are checked at entry
+   and at every cross-superblock hop, not per static junction. *)
+let exec_superblock m ctx sb0 remaining =
+  let units = ref sb0.s_units in
+  let cur_sb = ref sb0 in
   let idx = ref 0 in
+  (* Nothing that runs inside a superblock can move a generation counter
+     (Syscall/Trap are never chained; data stores cannot touch the code
+     store or the tables), so snapshot all three once and make the
+     per-junction liveness test three local compares instead of three
+     calls through [sb_live]. *)
+  let g_code = Memory.code_generation m.mem in
+  let g_pt = Page_table.generation m.page_table in
+  let g_apl = Apl.generation m.apl in
   (* The attribution category is a function of [cur_tag] and the
      (mutable) [attr_of_tag] — both can only change across a junction
      transfer check while a superblock runs (syscalls are never
@@ -1130,7 +1373,7 @@ let exec_superblock m ctx sb remaining =
   let cat_i = ref (Breakdown.category_index (m.attr_of_tag ctx.cur_tag)) in
   let continue_ = ref true in
   while !continue_ do
-    let u = Array.unsafe_get units !idx in
+    let u = Array.unsafe_get !units !idx in
     m.ctr_block_entries <- m.ctr_block_entries + 1;
     let k = if u.u_len < !remaining then u.u_len else !remaining in
     remaining := !remaining - k;
@@ -1145,6 +1388,10 @@ let exec_superblock m ctx sb remaining =
     done;
     if k < u.u_len then continue_ := false (* out of fuel mid-body *)
     else begin
+      (* Snapshot the domain before the terminator: a Ret that crossed
+         domains must re-resolve the attribution category on a RAS
+         hit. *)
+      let tag0 = ctx.cur_tag in
       (match u.u_term with
       | Some _ ->
           if !remaining <= 0 then continue_ := false
@@ -1154,35 +1401,152 @@ let exec_superblock m ctx sb remaining =
             let c = u.u_term_cost in
             ctx.cost <- ctx.cost +. c;
             Breakdown.charge_idx ctx.breakdown ci c;
-            u.u_term_code ctx
+            u.u_term_code ctx;
+            (* A call that completed predicts its return. *)
+            if u.u_cont_idx >= 0 then
+              ras_push m
+                ~cont_pc:(u.u_term_pc + Isa.instr_bytes)
+                ~sb:!cur_sb ~uidx:u.u_cont_idx
           end
       | None -> ());
-      if !continue_ then
-        if u.u_next_idx < 0 || ctx.halted then continue_ := false
-        else if ctx.pc <> u.u_next then begin
-          m.ctr_side_exits <- m.ctr_side_exits + 1;
-          continue_ := false
-        end
-        else if !remaining <= 0 then continue_ := false
-        else begin
-          let v = Array.unsafe_get units u.u_next_idx in
-          if Layout.page_of ctx.pc <> ctx.cur_page then begin
-            check_transfer m ctx ctx.pc;
-            if ctx.cur_tag <> v.u_tag || ctx.priv <> v.u_priv then begin
+      if !continue_ then begin
+        match u.u_dyn with
+        | Dyn_none ->
+            if u.u_next_idx < 0 || ctx.halted then continue_ := false
+            else if ctx.pc <> u.u_next then begin
               m.ctr_side_exits <- m.ctr_side_exits + 1;
               continue_ := false
             end
+            else if !remaining <= 0 then continue_ := false
             else begin
-              cat_i := Breakdown.category_index (m.attr_of_tag ctx.cur_tag);
-              idx := u.u_next_idx
+              let v = Array.unsafe_get !units u.u_next_idx in
+              if Layout.page_of ctx.pc <> ctx.cur_page then begin
+                check_transfer m ctx ctx.pc;
+                if ctx.cur_tag <> v.u_tag || ctx.priv <> v.u_priv then begin
+                  m.ctr_side_exits <- m.ctr_side_exits + 1;
+                  continue_ := false
+                end
+                else begin
+                  cat_i := Breakdown.category_index (m.attr_of_tag ctx.cur_tag);
+                  idx := u.u_next_idx
+                end
+              end
+              else if ctx.cur_tag <> v.u_tag || ctx.priv <> v.u_priv then begin
+                m.ctr_side_exits <- m.ctr_side_exits + 1;
+                continue_ := false
+              end
+              else idx := u.u_next_idx
             end
-          end
-          else if ctx.cur_tag <> v.u_tag || ctx.priv <> v.u_priv then begin
-            m.ctr_side_exits <- m.ctr_side_exits + 1;
-            continue_ := false
-          end
-          else idx := u.u_next_idx
-        end
+        | Dyn_ret ->
+            if ctx.halted then continue_ := false
+            else if !remaining <= 0 then continue_ := false
+            else begin
+              let hit = ref false in
+              if m.ras && m.ras_len > 0 then begin
+                (* the Ret consumes its entry whether or not it
+                   predicts — ordinary stack discipline *)
+                m.ras_len <- m.ras_len - 1;
+                m.ras_top <- (m.ras_top + ras_capacity - 1)
+                             land (ras_capacity - 1);
+                let slot = m.ras_top in
+                (* A consumed slot is left in place rather than cleared:
+                   [ras_len] gates every read, so a dead entry is only
+                   ever seen again after a fresh push overwrites it, and
+                   skipping the clear keeps a pointer-array store (and
+                   its write barrier) off the hit path.  An empty slot
+                   holds [ras_dummy], whose -1 generations fail this
+                   guard before [s_units] is touched. *)
+                let psb = Array.unsafe_get m.ras_sb slot in
+                if m.ras_pc.(slot) = ctx.pc
+                   && psb.s_code_gen = g_code && psb.s_pt_gen = g_pt
+                   && psb.s_apl_gen = g_apl
+                then begin
+                  let v = Array.unsafe_get psb.s_units m.ras_uidx.(slot) in
+                  if ctx.cur_tag = v.u_tag && ctx.priv = v.u_priv then begin
+                    hit := true;
+                    (* a cross-domain return (callee tag /= caller
+                       tag) chains too — its closure already ran the
+                       reference transfer check — but the attribution
+                       category must follow the domain *)
+                    if ctx.cur_tag <> tag0 then
+                      cat_i :=
+                        Breakdown.category_index (m.attr_of_tag ctx.cur_tag);
+                    cur_sb := psb;
+                    units := psb.s_units;
+                    idx := m.ras_uidx.(slot)
+                  end
+                end
+              end;
+              if !hit then m.ctr_ras_hits <- m.ctr_ras_hits + 1
+              else begin
+                m.ctr_ras_misses <- m.ctr_ras_misses + 1;
+                m.ctr_side_exits <- m.ctr_side_exits + 1;
+                continue_ := false
+              end
+            end
+        | Dyn_ic cell ->
+            if ctx.halted then continue_ := false
+            else if !remaining <= 0 then continue_ := false
+            else begin
+              let target = ctx.pc in
+              if m.ras && cell.ic_pc = target then begin
+                (* monomorphic re-match: the reference transfer check
+                   runs here, in the exact position the dispatcher
+                   would run it (page change only) *)
+                if Layout.page_of target <> ctx.cur_page then
+                  check_transfer m ctx target;
+                (* The warm-cache validity test is written out at both
+                   consult sites (rather than as a shared closure) to
+                   keep the hit path allocation-free; an indirect
+                   transfer that stayed in the domain also keeps its
+                   attribution category without re-resolving. *)
+                match cell.ic_sb with
+                | Some sb
+                  when sb.s_tag = ctx.cur_tag && sb.s_priv = ctx.priv
+                       && sb.s_code_gen = g_code && sb.s_pt_gen = g_pt
+                       && sb.s_apl_gen = g_apl ->
+                    m.ctr_ic_hits <- m.ctr_ic_hits + 1;
+                    if ctx.cur_tag <> tag0 then
+                      cat_i :=
+                        Breakdown.category_index (m.attr_of_tag ctx.cur_tag);
+                    cur_sb := sb;
+                    units := sb.s_units;
+                    idx := 0
+                | _ -> (
+                    (* stale or cold pointer: refill from the
+                       machine-wide table without disturbing the
+                       dispatcher-probe counter *)
+                    match Hashtbl.find_opt m.sblocks target with
+                    | Some sb
+                      when sb.s_tag = ctx.cur_tag && sb.s_priv = ctx.priv
+                           && sb.s_code_gen = g_code && sb.s_pt_gen = g_pt
+                           && sb.s_apl_gen = g_apl ->
+                        cell.ic_sb <- Some sb;
+                        m.ctr_ic_hits <- m.ctr_ic_hits + 1;
+                        if ctx.cur_tag <> tag0 then
+                          cat_i :=
+                            Breakdown.category_index
+                              (m.attr_of_tag ctx.cur_tag);
+                        cur_sb := sb;
+                        units := sb.s_units;
+                        idx := 0
+                    | Some _ | None ->
+                        m.ctr_ic_misses <- m.ctr_ic_misses + 1;
+                        m.ctr_side_exits <- m.ctr_side_exits + 1;
+                        continue_ := false)
+              end
+              else begin
+                (* polymorphic (or cold) site: rebias and dispatch *)
+                if m.ras then begin
+                  cell.ic_pc <- target;
+                  cell.ic_sb <- None
+                end;
+                m.ctr_ic_misses <- m.ctr_ic_misses + 1;
+                m.ctr_side_exits <- m.ctr_side_exits + 1;
+                continue_ := false
+              end
+            end
+      end
     end
   done
 
@@ -1230,9 +1594,11 @@ let run ?(fuel = 10_000_000) m ctx =
         let sb = find_superblock m ctx pc in
         let u0 = Array.unsafe_get sb.s_units 0 in
         if u0.u_len = 0 && u0.u_term = None then begin
-          (* Unchainable terminator or unfetchable slot at the entry:
-             one reference step (the transfer check above already ran,
-             [step_unlogged] will not repeat it). *)
+          (* Unchainable terminator (Syscall/Trap/Halt) or unfetchable
+             slot at the entry: one reference step (the transfer check
+             above already ran, [step_unlogged] will not repeat it).
+             Ret/Jmpr/Callr entries are chained terminators and run
+             through [exec_superblock] like any other unit. *)
           decr remaining;
           match step_unlogged m ctx with
           | `Halted -> running := false

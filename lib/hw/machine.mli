@@ -55,10 +55,12 @@ type t = {
   mutable attr_of_tag : int -> Breakdown.category;
   mutable next_ctx_id : int;
   mutable tracer : Dipc_sim.Trace.t;
-  mutable tlb_page : int;
-      (** one-entry translation cache: last page number looked up *)
-  mutable tlb_gen : int;  (** {!Page_table.generation} it was filled at *)
-  mutable tlb_entry : Page_table.page;
+  tlb_pages : int array;
+      (** direct-mapped translation cache: page number cached per way *)
+  tlb_entries : Page_table.page array;
+  mutable tlb_gen : int;
+      (** {!Page_table.generation} the cache was filled at; a mismatch
+          invalidates every way *)
   mutable inject : Dipc_sim.Inject.t option;
       (** fault injector consulted at domain crossings; [None] = clean *)
   mutable block_cache : bool;
@@ -69,9 +71,26 @@ type t = {
       (** under [block_cache]: superblock (trace-compiled) dispatch when
           true (default), the PR 5 one-block-at-a-time path when false;
           see {!set_superblocks} *)
+  mutable ras : bool;
+      (** under [superblocks]: predict through dynamic transfers — a
+          return-address stack on [Ret], monomorphic inline caches on
+          [Jmpr]/[Callr] — when true (default); false leaves every
+          dynamic site a counted side exit (the [--no-ras] triage
+          path); see {!set_ras} *)
   sblocks : (int, superblock) Hashtbl.t;
       (** superblock cache, keyed by entry pc; machine-wide so
           {!pretranslate} can warm it before any context exists *)
+  ras_pc : int array;
+      (** the return-address stack (fixed circular buffer of predicted
+          return continuations); machine-wide like [sblocks] — every
+          prediction is re-validated before it is chained, so stale
+          entries mispredict, never diverge *)
+  ras_sb : superblock array;
+      (** empty slots hold a dummy whose -1 generation counters can
+          never pass the pop-side liveness guard *)
+  ras_uidx : int array;
+  mutable ras_top : int;  (** next push slot *)
+  mutable ras_len : int;  (** live entries (overflow drops the oldest) *)
   mutable ctr_block_entries : int;
       (** deterministic perf counters — pure functions of the simulated
           execution, identical at any [--jobs]/[--shards], and never
@@ -82,8 +101,21 @@ type t = {
   mutable ctr_sb_hits : int;  (** warm superblock dispatches *)
   mutable ctr_sb_translations : int;  (** superblocks (re)translated *)
   mutable ctr_side_exits : int;
-      (** mid-chain exits: speculation misses and junction tag/priv
-          guard failures *)
+      (** mid-chain exits: speculation misses, junction tag/priv guard
+          failures, and dynamic junctions (Ret/Jmpr/Callr) that failed
+          to chain *)
+  mutable ctr_ras_hits : int;
+      (** chained Rets predicted by the return-address stack *)
+  mutable ctr_ras_misses : int;
+      (** chained Rets that fell back to dispatch (mispredict,
+          under/overflow, cross-crossing return, stale target); every
+          miss is also counted in [ctr_side_exits] *)
+  mutable ctr_ic_hits : int;
+      (** chained Jmpr/Callr sites whose inline cache re-matched *)
+  mutable ctr_ic_misses : int;
+      (** chained Jmpr/Callr sites that fell back to dispatch
+          (polymorphic target, cold cache, stale superblock); every
+          miss is also counted in [ctr_side_exits] *)
   mutable posture : Fault.posture;
       (** enforcement posture for authorization faults (sampled from
           {!Fault.get_default_posture} at creation); see {!set_posture} *)
@@ -122,6 +154,17 @@ val set_superblocks : t -> bool -> unit
 (** Process-wide default for {!create}: the [--no-superblocks] escape
     hatch, mirroring {!set_default_block_cache}. *)
 val set_default_superblocks : bool -> unit
+
+(** Enable/disable the dynamic-transfer predictors (return-address
+    stack + inline caches) on one machine.  Toggling drops the
+    superblock cache and any live predictions — translation shapes
+    depend on the setting.  Results, costs and digests are identical in
+    every mode — triage only. *)
+val set_ras : t -> bool -> unit
+
+(** Process-wide default for {!create}: the [--no-ras] escape hatch,
+    mirroring {!set_default_superblocks}. *)
+val set_default_ras : bool -> unit
 
 (** Warm the superblock cache for the entry point at [pc] (a no-op
     unless both fast paths are enabled, or when [pc] is unmapped or not

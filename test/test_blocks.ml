@@ -11,7 +11,15 @@
    generation guard (code rewrite, page remap, APL revoke, APL-cache
    flush) invalidates stale translations, and that every superblock
    side-exit class (speculation miss, in-place retag, fuel exhaustion
-   at a junction) falls back to the interpreter without divergence. *)
+   at a junction) falls back to the interpreter without divergence.
+
+   PR 10 adds the dynamic-transfer predictors (return-address stack on
+   Ret, monomorphic inline caches on Jmpr/Callr): a fourth
+   differential mode runs superblocks with prediction disabled, the
+   random programs grow recursive call towers, mid-run return-target
+   rewrites and polymorphic indirect sites, and directed tests pin RAS
+   misprediction, RAS over/underflow, IC invalidation on retag, and
+   the hits + misses = dispatches counter invariants. *)
 
 module Machine = Dipc_hw.Machine
 module Memory = Dipc_hw.Memory
@@ -27,16 +35,19 @@ module Trace = Dipc_sim.Trace
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
-(* The three dispatch modes under differential test.  Superblocks ride
-   on top of the basic-block cache, so the lattice is: reference
-   stepper < PR 5 block cache < superblock compiler. *)
-type mode = Reference | Blocks | Superblocks
+(* The four dispatch modes under differential test.  Superblocks ride
+   on top of the basic-block cache, and the dynamic-transfer predictors
+   (RAS + inline caches) ride on top of superblocks, so the lattice is:
+   reference stepper < PR 5 block cache < superblock compiler with
+   prediction off (--no-ras) < full superblock compiler. *)
+type mode = Reference | Blocks | Noras | Superblocks
 
-let all_modes = [ Reference; Blocks; Superblocks ]
+let all_modes = [ Reference; Blocks; Noras; Superblocks ]
 
 let mode_name = function
   | Reference -> "reference"
   | Blocks -> "blocks"
+  | Noras -> "superblocks-noras"
   | Superblocks -> "superblocks"
 
 (* --- a small fixed universe for random programs --- *)
@@ -50,6 +61,18 @@ let island = 0x120000 (* 1 executable page, tag d: no grants touch it *)
 let data = 0x200000 (* 1 rw page, tag a *)
 
 let stack = 0x300000 (* 1 rw page, tag a *)
+
+(* Fixed routines on the second code page (tag a), clear of the
+   syscall-0 rewrite window at +2048: a bounded recursive call tower
+   (counts r9 up to r8, one Ret per level — deep RAS exercise), a
+   return-target twister (overwrites its own return slot with r6
+   before Ret — a guaranteed RAS mispredict), and a second leaf for
+   polymorphic indirect-call sites. *)
+let tower = code0 + Layout.page_size + 256
+
+let twist = code0 + Layout.page_size + 512
+
+let leaf = code0 + Layout.page_size + 640
 
 type universe = {
   m : Machine.t;
@@ -70,7 +93,8 @@ type universe = {
 let setup ~mode prog =
   let m = Machine.create () in
   Machine.set_block_cache m (mode <> Reference);
-  Machine.set_superblocks m (mode = Superblocks);
+  Machine.set_superblocks m (mode = Superblocks || mode = Noras);
+  Machine.set_ras m (mode = Superblocks);
   let tag_a = Apl.fresh_tag m.Machine.apl in
   let tag_b = Apl.fresh_tag m.Machine.apl in
   let tag_b2 = Apl.fresh_tag m.Machine.apl in
@@ -104,6 +128,19 @@ let setup ~mode prog =
   ignore
     (Memory.place_code m.Machine.mem ~addr:callee [ Isa.Addi (2, 2, 7); Isa.Ret ]);
   ignore (Memory.place_code m.Machine.mem ~addr:island [ Isa.Halt ]);
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:tower
+       [
+         Isa.Bge (9, 8, tower + (3 * Isa.instr_bytes));
+         Isa.Addi (9, 9, 1);
+         Isa.Call tower;
+         Isa.Ret;
+       ]);
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:twist
+       [ Isa.Store (Isa.sp, 0, 6); Isa.Ret ]);
+  ignore
+    (Memory.place_code m.Machine.mem ~addr:leaf [ Isa.Addi (3, 3, 50); Isa.Ret ]);
   { m; tag_a; tag_b; tag_b2; tag_c; tag_d }
 
 let fresh_ctx u =
@@ -114,15 +151,20 @@ let fresh_ctx u =
 (* Each abstract op is one instruction; branch targets only point
    forward (to a later slot or the trailing Halt), so every program
    terminates.  Faulting programs are kept: faults must be identical on
-   all paths.  Registers 6 and 7 are preset by the preamble (the Halt
-   address and the callee entry) so the indirect-jump selectors always
-   target valid code; the superblock compiler never chains Jmpr/Callr,
-   making them block-boundary stress. *)
+   all paths.  Registers 6..10 are preset by the preamble (Halt
+   address, callee entry, tower bound, tower counter, polymorphic
+   selector) so the indirect and recursive ops always target valid
+   code.  The superblock compiler chains Jmpr/Callr through inline
+   caches and Ret through the return-address stack, so these ops now
+   stress the predictors as well as block boundaries: the tower runs a
+   bounded recursion (deep push/pop sequences), [twist] rewrites its
+   own return target mid-call (a forced mispredict), and the selector
+   flips Callr 10 between two leaves in different domains. *)
 let instr_of ~i ~n (sel, a, b, c) =
   let a = abs a and b = abs b and c = abs c in
   let r k = 2 + (k mod 4) in
   let fwd k = code0 + (Isa.instr_bytes * (i + 1 + (k mod (n - i)))) in
-  match sel mod 19 with
+  match sel mod 24 with
   | 0 -> Isa.Const (r a, b)
   | 1 -> Isa.Mov (r a, r b)
   | 2 -> Isa.Add (r a, r b, r c)
@@ -140,16 +182,24 @@ let instr_of ~i ~n (sel, a, b, c) =
   | 16 -> Isa.Jmpr 6 (* indirect jump to the trailing Halt *)
   | 17 -> Isa.Callr 7 (* indirect call to the callee entry *)
   | 18 -> Isa.Syscall (b mod 2) (* mid-run rewrite / APL revoke *)
+  | 19 -> Isa.Call tower (* recursive tower: depth = r8 - r9 *)
+  | 20 -> Isa.Const (9, b mod 8) (* rewind the tower counter *)
+  | 21 -> Isa.Call twist (* returns to r6 (Halt), not the call site *)
+  | 22 -> Isa.Callr 10 (* polymorphic indirect call (see 23) *)
+  | 23 -> Isa.Const (10, if b mod 2 = 0 then callee else leaf)
   | _ -> Isa.Nop
 
 let prog_of_ops ops =
   let n = List.length ops in
-  let slots = n + 3 (* preamble *) + 1 (* Halt *) in
+  let slots = n + 6 (* preamble *) + 1 (* Halt *) in
   let halt_addr = code0 + (Isa.instr_bytes * (slots - 1)) in
   (* reg 1 = data-page base for every Load/Store; reg 6 = Halt address
-     for Jmpr; reg 7 = callee entry for Callr *)
+     for Jmpr and the twist return target; reg 7 = callee entry for
+     Callr; regs 8/9 = tower bound and counter; reg 10 = polymorphic
+     Callr selector *)
   (Isa.Const (1, data) :: Isa.Const (6, halt_addr) :: Isa.Const (7, callee)
-  :: List.mapi (fun i op -> instr_of ~i:(i + 3) ~n:(slots - 1) op) ops)
+  :: Isa.Const (8, 6) :: Isa.Const (9, 0) :: Isa.Const (10, leaf)
+  :: List.mapi (fun i op -> instr_of ~i:(i + 6) ~n:(slots - 1) op) ops)
   @ [ Isa.Halt ]
 
 let ops_gen =
@@ -204,6 +254,7 @@ let prop_differential =
       let prog = prog_of_ops ops in
       let reference = run_one ~mode:Reference ~fuel prog in
       run_one ~mode:Blocks ~fuel prog = reference
+      && run_one ~mode:Noras ~fuel prog = reference
       && run_one ~mode:Superblocks ~fuel prog = reference)
 
 let prop_differential_traced_digest =
@@ -221,10 +272,11 @@ let prop_differential_traced_digest =
         (observe u ctx outcome, Trace.digest_hex tr)
       in
       match List.map traced all_modes with
-      | [ (s_ref, d_ref); (s_blk, d_blk); (s_sb, d_sb) ] ->
+      | [ (s_ref, d_ref); (s_blk, d_blk); (s_nr, d_nr); (s_sb, d_sb) ] ->
           (* traced runs agree with each other and with the untraced
              superblock run *)
-          s_ref = s_blk && s_ref = s_sb && d_ref = d_blk && d_ref = d_sb
+          s_ref = s_blk && s_ref = s_nr && s_ref = s_sb && d_ref = d_blk
+          && d_ref = d_nr && d_ref = d_sb
           && s_ref = run_one ~mode:Superblocks prog
       | _ -> false)
 
@@ -246,7 +298,8 @@ let prop_self_modifying =
         (s1, observe u c2 o2)
       in
       let reference = both Reference in
-      both Blocks = reference && both Superblocks = reference)
+      both Blocks = reference && both Noras = reference
+      && both Superblocks = reference)
 
 (* --- directed invalidation tests --- *)
 
@@ -255,6 +308,10 @@ let prop_self_modifying =
 let check_all name f =
   let reference = f Reference in
   Alcotest.(check bool) (name ^ " (blocks)") true (f Blocks = reference);
+  Alcotest.(check bool)
+    (name ^ " (superblocks-noras)")
+    true
+    (f Noras = reference);
   Alcotest.(check bool)
     (name ^ " (superblocks)")
     true
@@ -545,6 +602,166 @@ let test_counters_sanity () =
   Alcotest.(check bool) "block entries counted" true
     (u.m.Machine.ctr_block_entries > 0)
 
+(* --- directed dynamic-transfer predictor tests (PR 10) --- *)
+
+(* [twist] overwrites its own return slot with r6 before returning: the
+   RAS predicted the call-site continuation, so the chained Ret must
+   mispredict, side-exit with exact reference state, and resume at the
+   rewritten target. *)
+let test_ras_misprediction () =
+  let alt = code0 + (3 * Isa.instr_bytes) in
+  let prog =
+    [
+      Isa.Const (6, alt);
+      Isa.Call twist; (* returns to alt, not the call site *)
+      Isa.Addi (2, 2, 111); (* the predicted continuation: never runs *)
+      Isa.Const (3, 9);
+      Isa.Halt;
+    ]
+  in
+  check_all "rewritten return target identical on all paths" (fun mode ->
+      run_one ~mode prog);
+  let u = setup ~mode:Superblocks prog in
+  let ctx = fresh_ctx u in
+  let o = run_outcome u ctx in
+  Alcotest.(check bool) "run lands on the rewritten target" true
+    (o = Done && ctx.Machine.regs.(2) = 0 && ctx.Machine.regs.(3) = 9);
+  Alcotest.(check bool) "mispredict counted" true
+    (u.m.Machine.ctr_ras_misses > 0)
+
+(* A depth-81 tower overflows the 64-entry circular RAS: the oldest
+   entries are dropped, so the outermost returns mispredict while the
+   innermost 64 still hit — and the run must stay observationally
+   identical throughout. *)
+let test_ras_overflow () =
+  let prog =
+    [ Isa.Const (8, 80); Isa.Const (9, 0); Isa.Call tower; Isa.Halt ]
+  in
+  check_all "deep tower identical on all paths" (fun mode ->
+      run_one ~mode prog);
+  let u = setup ~mode:Superblocks prog in
+  let ctx = fresh_ctx u in
+  let o = run_outcome u ctx in
+  Alcotest.(check bool) "tower completes" true
+    (o = Done && ctx.Machine.regs.(9) = 80);
+  Alcotest.(check bool) "dropped entries mispredict" true
+    (u.m.Machine.ctr_ras_misses >= 16);
+  Alcotest.(check bool) "live entries still hit" true
+    (u.m.Machine.ctr_ras_hits >= 48)
+
+(* RAS underflow: enter execution *at* a Ret (a hand-built host frame
+   with a poked return slot), so the chained Ret pops an empty RAS and
+   must fall back to the dispatcher, not chain anywhere. *)
+let test_ras_underflow () =
+  let prog = [ Isa.Ret; Isa.Halt ] in
+  let run mode =
+    let u = setup ~mode prog in
+    let sp = stack + Layout.page_size - Layout.word_size in
+    Machine.poke_words u.m ~addr:sp [| code0 + Isa.instr_bytes |];
+    let ctx = Machine.new_ctx u.m ~pc:code0 ~sp_value:sp in
+    Machine.enter_frame ctx;
+    let o = run_outcome u ctx in
+    ((o, ctx.Machine.instret, ctx.Machine.cost), u.m)
+  in
+  let obs, m = run Superblocks in
+  Alcotest.(check bool) "entry-at-Ret halts" true
+    (match obs with Done, 2, _ -> true | _ -> false);
+  Alcotest.(check bool) "underflowing Ret mispredicts, never hits" true
+    (m.Machine.ctr_ras_misses = 1 && m.Machine.ctr_ras_hits = 0);
+  check_all "RAS underflow identical on all paths" (fun mode ->
+      fst (run mode))
+
+(* In-place retag under a warm inline cache: the Callr site's cached
+   target page flips identity (no generation moves), so the IC's live
+   (tag, priv) re-check must reject the cached superblock and fall back
+   to dispatch — stale code can never be chained. *)
+let test_ic_invalidation_retag () =
+  let loop = code0 + (4 * Isa.instr_bytes) in
+  let prog =
+    [
+      Isa.Const (2, 0);
+      Isa.Const (4, 0);
+      Isa.Const (5, 2);
+      Isa.Const (7, callee);
+      Isa.Callr 7; (* loop: inline-cached indirect call *)
+      Isa.Syscall 3; (* retag callee page b <-> b2 (handler below) *)
+      Isa.Addi (4, 4, 1);
+      Isa.Blt (4, 5, loop);
+      Isa.Halt;
+    ]
+  in
+  let run mode =
+    let u = setup ~mode prog in
+    Machine.set_syscall_handler u.m (fun _ctx _n ->
+        let page =
+          match Page_table.find u.m.Machine.page_table callee with
+          | Some p -> p
+          | None -> assert false
+        in
+        let from_tag = page.Page_table.tag in
+        let to_tag = if from_tag = u.tag_b then u.tag_b2 else u.tag_b in
+        Page_table.retag u.m.Machine.page_table ~addr:callee ~count:1 ~from_tag
+          ~to_tag);
+    let ctx = fresh_ctx u in
+    let o = run_outcome u ctx in
+    (observe u ctx o, u.m)
+  in
+  let s_sb, m = run Superblocks in
+  (match s_sb with
+  | Done, regs, _, _, _, _ ->
+      Alcotest.(check int) "both iterations called the callee" 14 regs.(2)
+  | _ -> Alcotest.fail "retagged Callr run must complete");
+  Alcotest.(check bool) "retag defeats the inline cache" true
+    (m.Machine.ctr_ic_misses >= 2);
+  check_all "IC retag identical on all paths" (fun mode -> fst (run mode))
+
+(* The counter contract: every chained Ret dispatch is exactly one RAS
+   hit or miss, every chained Jmpr/Callr dispatch exactly one IC hit or
+   miss — in both prediction modes (with --no-ras everything is a
+   miss). *)
+let test_counter_invariants () =
+  let loop = code0 + (5 * Isa.instr_bytes) in
+  let jback = code0 + (10 * Isa.instr_bytes) in
+  let prog =
+    [
+      Isa.Const (2, 0);
+      Isa.Const (4, 0);
+      Isa.Const (5, 25);
+      Isa.Const (7, callee);
+      Isa.Const (6, loop);
+      Isa.Call callee; (* loop: r2 += 7 *)
+      Isa.Callr 7; (* r2 += 7 *)
+      Isa.Addi (4, 4, 1);
+      Isa.Blt (4, 5, jback);
+      Isa.Halt;
+      Isa.Jmpr 6; (* jback: indirect backedge *)
+    ]
+  in
+  let counters mode =
+    let u = setup ~mode prog in
+    let ctx = fresh_ctx u in
+    let o = run_outcome u ctx in
+    Alcotest.(check bool) (mode_name mode ^ " completes") true
+      (o = Done && ctx.Machine.regs.(2) = 25 * 14);
+    u.m
+  in
+  (* 25 iterations x 2 Rets; the Callr runs 25x and the Jmpr backedge
+     24x (the last iteration falls through to Halt) *)
+  let m = counters Superblocks in
+  Alcotest.(check int) "ras hits + misses = chained Ret dispatches" 50
+    (m.Machine.ctr_ras_hits + m.Machine.ctr_ras_misses);
+  Alcotest.(check int) "ic hits + misses = chained indirect dispatches" 49
+    (m.Machine.ctr_ic_hits + m.Machine.ctr_ic_misses);
+  Alcotest.(check bool) "predictors mostly hit" true
+    (m.Machine.ctr_ras_hits >= 45 && m.Machine.ctr_ic_hits >= 40);
+  let m0 = counters Noras in
+  Alcotest.(check int) "no-ras: every Ret dispatch is a miss" 50
+    m0.Machine.ctr_ras_misses;
+  Alcotest.(check int) "no-ras: every indirect dispatch is a miss" 49
+    m0.Machine.ctr_ic_misses;
+  Alcotest.(check int) "no-ras: no hits" 0
+    (m0.Machine.ctr_ras_hits + m0.Machine.ctr_ic_hits)
+
 let test_default_toggle () =
   Machine.set_default_block_cache false;
   let m1 = Machine.create () in
@@ -553,12 +770,17 @@ let test_default_toggle () =
   let m2 = Machine.create () in
   Machine.set_default_superblocks true;
   let m3 = Machine.create () in
+  Machine.set_default_ras false;
+  let m4 = Machine.create () in
+  Machine.set_default_ras true;
   Alcotest.(check bool) "default off is sampled" false m1.Machine.block_cache;
   Alcotest.(check bool) "default on is sampled" true m2.Machine.block_cache;
   Alcotest.(check bool) "superblock default off is sampled" false
     m2.Machine.superblocks;
   Alcotest.(check bool) "superblock default on is sampled" true
-    m3.Machine.superblocks
+    m3.Machine.superblocks;
+  Alcotest.(check bool) "ras default on is sampled" true m3.Machine.ras;
+  Alcotest.(check bool) "ras default off is sampled" false m4.Machine.ras
 
 let suites =
   [
@@ -583,5 +805,14 @@ let suites =
         Alcotest.test_case "in-place retag" `Quick test_side_exit_inplace_retag;
         Alcotest.test_case "fuel at a junction" `Quick test_fuel_at_junction;
         Alcotest.test_case "counters sanity" `Quick test_counters_sanity;
+      ] );
+    ( "blocks.predictors",
+      [
+        Alcotest.test_case "RAS misprediction" `Quick test_ras_misprediction;
+        Alcotest.test_case "RAS overflow" `Quick test_ras_overflow;
+        Alcotest.test_case "RAS underflow" `Quick test_ras_underflow;
+        Alcotest.test_case "IC invalidation on retag" `Quick
+          test_ic_invalidation_retag;
+        Alcotest.test_case "counter invariants" `Quick test_counter_invariants;
       ] );
   ]

@@ -1,4 +1,4 @@
-(* Golden-digest corpus: rerun all 36 benchmark experiments through the
+(* Golden-digest corpus: rerun all 37 benchmark experiments through the
    shared suite library and pin every replay digest against the
    committed bench/BENCH_baseline.json.  Any unintended change to the
    event timeline — engine, kernel, IPC layer, workloads — shows up
@@ -17,11 +17,11 @@ module Parallel = Dipc_sim.Parallel
 (* The dune rule copies the baseline next to the test binary. *)
 let baseline_path = "../bench/BENCH_baseline.json"
 
-let pinned_experiments = 36
+let pinned_experiments = 37
 
 let test_baseline_parses () =
   let pins = Golden.parse_file baseline_path in
-  Alcotest.(check int) "36 pinned experiments" pinned_experiments
+  Alcotest.(check int) "37 pinned experiments" pinned_experiments
     (List.length pins);
   List.iter
     (fun (name, digest) ->
@@ -41,15 +41,19 @@ let test_baseline_counters_present () =
     List.filter
       (fun r ->
         r.Golden.r_name = "machine_hotloop"
-        || r.Golden.r_name = "machine_superblock")
+        || r.Golden.r_name = "machine_superblock"
+        || r.Golden.r_name = "machine_callret")
       rows
   in
-  Alcotest.(check int) "machine rows present" 2 (List.length machine_rows);
+  Alcotest.(check int) "machine rows present" 3 (List.length machine_rows);
   List.iter
     (fun r ->
       Alcotest.(check (list string))
         (r.Golden.r_name ^ " counter schema")
-        [ "instret"; "blocks"; "sb_hits"; "sb_xlate"; "side_exits" ]
+        [
+          "instret"; "blocks"; "sb_hits"; "sb_xlate"; "side_exits";
+          "ras_hits"; "ras_misses"; "ic_hits"; "ic_misses";
+        ]
         (List.map fst r.Golden.r_counters);
       Alcotest.(check bool)
         (r.Golden.r_name ^ " retired instructions")
@@ -214,6 +218,37 @@ let test_mips_ratchet () =
        (Golden.compare_mips_ratchet ~ratio:0.25 ~baseline:baseline_text
           ~candidate:jitter))
 
+(* The history trend reporter: needs two rows, diffs the last two, and
+   names sim-MIPS movement and counter deltas per cell. *)
+let test_trend_report () =
+  let hist_row commit mips counters =
+    Printf.sprintf
+      "{\"schema\": \"dipc-bench-hist/v1\", \"commit\": \"%s\", \"utc\": \
+       \"2026-01-01T00:00:00Z\", \"experiments\": [{\"name\": \"exp_a\", \
+       \"sim_mips\": %.3f, \"counters\": {%s}}]}"
+      commit mips counters
+  in
+  (match Golden.trend_report ~history:(hist_row "aaa" 10.0 "\"side_exits\": 5")
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a single row cannot trend");
+  let history =
+    hist_row "aaa" 10.0 "\"side_exits\": 5"
+    ^ "\n"
+    ^ hist_row "bbb" 13.0 "\"side_exits\": 2"
+    ^ "\n"
+  in
+  match Golden.trend_report ~history with
+  | Error m -> Alcotest.fail m
+  | Ok lines ->
+      let text = String.concat "\n" lines in
+      let has s = Golden.find_sub text s 0 <> None in
+      Alcotest.(check bool) "header names both commits" true
+        (has "aaa" && has "bbb");
+      Alcotest.(check bool) "sim-MIPS delta reported" true (has "+30.0%");
+      Alcotest.(check bool) "counter delta reported" true
+        (has "side_exits 5 -> 2")
+
 let suites =
   [
     ( "golden",
@@ -221,7 +256,7 @@ let suites =
         Alcotest.test_case "baseline corpus parses" `Quick test_baseline_parses;
         Alcotest.test_case "baseline pins the counter columns" `Quick
           test_baseline_counters_present;
-        Alcotest.test_case "all 36 digests match the baseline" `Slow
+        Alcotest.test_case "all 37 digests match the baseline" `Slow
           test_digests_match_baseline;
         Alcotest.test_case "counter gate: identity" `Quick
           test_counters_identity;
@@ -234,5 +269,6 @@ let suites =
         Alcotest.test_case "counter gate: dropped key named" `Quick
           test_counters_dropped_key;
         Alcotest.test_case "sim_mips ratchet" `Quick test_mips_ratchet;
+        Alcotest.test_case "history trend report" `Quick test_trend_report;
       ] );
   ]
